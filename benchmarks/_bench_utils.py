@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under the pytest-benchmark timer.
+
+    The experiments are full simulation campaigns, not micro-benchmarks, so a
+    single round/iteration is both sufficient and necessary (repeating them
+    would multiply the suite's runtime without adding information).
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Shared configuration of the benchmark harness.
+
+Every table and figure of the paper's evaluation has one benchmark module that
+regenerates it (at a reduced run count by default) and records the key numbers
+in ``benchmark.extra_info`` next to the paper's values, so that
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+
+Environment knobs:
+
+``HEX_BENCH_RUNS``
+    Number of runs per data point (default 10; the paper uses 250).
+``HEX_BENCH_PAPER``
+    Set to ``1`` to run the full paper-scale configuration (50x20 grid,
+    250 runs) -- slow, but closest to the published numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+
+
+def _bench_runs(default: int = 10) -> int:
+    return int(os.environ.get("HEX_BENCH_RUNS", default))
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    """Number of runs per data point used by the benchmarks."""
+    return _bench_runs()
+
+
+@pytest.fixture(scope="session")
+def bench_config(bench_runs) -> ExperimentConfig:
+    """The paper's 50x20 grid with a reduced run count (unless HEX_BENCH_PAPER=1)."""
+    if os.environ.get("HEX_BENCH_PAPER") == "1":
+        return ExperimentConfig.paper()
+    return ExperimentConfig(runs=bench_runs)
+
+
+@pytest.fixture(scope="session")
+def bench_stab_config(bench_runs) -> ExperimentConfig:
+    """A smaller grid for the (discrete-event) stabilization benchmarks."""
+    if os.environ.get("HEX_BENCH_PAPER") == "1":
+        return ExperimentConfig.paper()
+    return ExperimentConfig(layers=20, width=10, runs=max(3, bench_runs // 2), num_pulses=8)

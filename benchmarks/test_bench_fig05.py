@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 5 (deterministic worst-case pulse wave)."""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments import fig05, table1
+
+
+def test_bench_fig05(benchmark):
+    result = run_once(benchmark, fig05.run)
+    print()
+    print(result.render())
+    summary = result.summary()
+    benchmark.extra_info["focus_skew_ns"] = round(summary["focus_skew"], 2)
+    benchmark.extra_info["lemma4_bound_ns"] = round(summary["lemma4_bound"], 2)
+
+    # Shape: the crafted wave tears the focus columns an order of magnitude
+    # further apart than anything seen under random delays (Table 1, max
+    # 8.19 ns over 250 runs), while respecting the Lemma 4 bound.
+    paper_random_max = max(
+        row["intra_max"] for row in table1.PAPER_TABLE1.values()
+    )
+    assert summary["focus_skew"] > 2 * paper_random_max
+    assert summary["focus_skew"] <= summary["lemma4_bound"]
+    assert summary["focus_skew"] > summary["average_skew"]

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Byzantine resilience: how faults affect skew, and how locally.
+
+This example reproduces the core robustness story of the paper on a mid-size
+grid:
+
+1. place an increasing number of Byzantine nodes (uniformly at random, under
+   the fault-separation Condition 1), each behaving adversarially per outgoing
+   link (stuck-at-0 or stuck-at-1);
+2. measure the intra-/inter-layer skews over a set of runs, once over all
+   correct nodes (``h = 0``) and once excluding the faults' direct
+   out-neighbours (``h = 1``);
+3. print how the skew grows with the number of faults -- and how the growth
+   essentially disappears with ``h = 1`` (fault locality), while the
+   self-stabilizing multi-pulse simulation still recovers within a couple of
+   pulses even when every node starts in a random state.
+
+Run with::
+
+    python examples/byzantine_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.single_pulse import run_scenario_set
+from repro.experiments.stability import run_stabilization_point
+from repro.faults.models import FaultType
+from repro.faults.placement import condition1_probability_lower_bound
+
+
+def main() -> None:
+    config = ExperimentConfig(layers=30, width=14, runs=10, num_pulses=6, seed=7)
+
+    # --- single-pulse skew vs number of Byzantine nodes --------------------
+    rows = []
+    for num_faults in (0, 1, 2, 4):
+        run_set = run_scenario_set(
+            config,
+            "iii",
+            num_faults=num_faults,
+            fault_type=FaultType.BYZANTINE,
+            seed_salt=10 + num_faults,
+        )
+        all_nodes = run_set.statistics(hops=0)
+        excluding_neighbors = run_set.statistics(hops=1)
+        rows.append(
+            [
+                num_faults,
+                all_nodes.intra_avg,
+                all_nodes.intra_max,
+                excluding_neighbors.intra_max,
+                all_nodes.inter_max,
+                excluding_neighbors.inter_max,
+            ]
+        )
+    print(
+        format_table(
+            ["f", "intra avg", "intra max (h=0)", "intra max (h=1)",
+             "inter max (h=0)", "inter max (h=1)"],
+            rows,
+            title=f"Skews vs Byzantine faults ({config.runs} runs, scenario (iii))",
+        )
+    )
+    print()
+    probability = condition1_probability_lower_bound(
+        (config.layers + 1) * config.width, 4
+    )
+    print(
+        f"Condition 1 (fault separation) holds for 4 random faults with probability "
+        f">= {probability:.3f} on this grid."
+    )
+    print()
+
+    # --- self-stabilization from arbitrary states ---------------------------
+    point = run_stabilization_point(
+        config,
+        "iii",
+        num_faults=2,
+        fault_type=FaultType.BYZANTINE,
+        skew_choice=0,
+        runs=5,
+    )
+    print(
+        format_table(
+            ["f", "C", "avg stabilization pulse", "runs stabilized", "runs"],
+            [[2, 0, point.average, point.num_stabilized, point.num_runs]],
+            title="Self-stabilization from random initial states (2 Byzantine nodes)",
+        )
+    )
+    print()
+    print(
+        "Skews grow only moderately with the number of faults, the effect is\n"
+        "confined to the faults' immediate neighbourhood (h = 1 column), and the\n"
+        "grid re-synchronizes within a couple of pulses from arbitrary states."
+    )
+
+
+if __name__ == "__main__":
+    main()

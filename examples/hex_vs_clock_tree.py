@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""HEX vs clock trees: the scaling argument of the paper's title, measured.
+
+This example puts the introduction's claims side by side for growing system
+sizes:
+
+* **wire length** -- HEX links stay at one sink pitch while the H-tree's
+  top-level arms grow like ``sqrt(n)``;
+* **neighbour skew** -- the H-tree's skew between physically adjacent sinks
+  grows with the delay variation accumulated along the disjoint parts of their
+  root paths; HEX's worst-case neighbour skew bound grows only via the
+  ``ceil(W eps / d+) eps`` term (and measured skews are far smaller);
+* **robustness** -- one broken tree buffer disconnects a quarter of the die
+  (or all of it); HEX tolerates isolated Byzantine nodes outright and keeps
+  their skew impact local.
+
+It also shows the Section 5 extension: deriving a fast clock from HEX pulses
+via frequency multiplication, and what that costs in additional skew.
+
+Run with::
+
+    python examples/hex_vs_clock_tree.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocktree.comparison import compare_scaling
+from repro.core.parameters import TimingConfig
+from repro.core.topology import HexGrid
+from repro.clocksource import scenario_layer0_times
+from repro.experiments.report import format_kv, format_table
+from repro.multiplication.fastclock import (
+    FrequencyMultiplier,
+    MultiplierConfig,
+    fast_clock_skew_bound,
+    measure_fast_clock_skew,
+)
+from repro.simulation.links import UniformRandomDelays
+from repro.simulation.runner import simulate_single_pulse
+
+
+def main() -> None:
+    timing = TimingConfig.paper_defaults()
+
+    # --- scaling comparison -------------------------------------------------
+    comparison = compare_scaling(tree_levels=(2, 3, 4, 5), timing=timing, seed=3)
+    rows = [
+        [
+            row.num_endpoints,
+            row.hex_max_wire_length,
+            row.tree_max_wire_length,
+            row.hex_neighbor_skew_bound,
+            row.tree_max_neighbor_skew,
+            row.hex_expected_faults_tolerated,
+            row.tree_worst_internal_fault_loss,
+        ]
+        for row in comparison
+    ]
+    print(
+        format_table(
+            ["endpoints", "hex wire", "tree wire", "hex skew bound",
+             "tree nbr skew", "hex faults ok", "tree fault loss"],
+            rows,
+            title="Scaling honeycombs vs scaling clock trees",
+        )
+    )
+    print()
+
+    # --- frequency multiplication (Section 5) ------------------------------
+    grid = HexGrid(layers=20, width=12)
+    rng = np.random.default_rng(11)
+    layer0 = scenario_layer0_times("i", grid.width, timing, rng=rng)
+    result = simulate_single_pulse(
+        grid, timing, layer0, rng=rng, delays=UniformRandomDelays(timing, rng)
+    )
+
+    multiplier_config = MultiplierConfig(multiplication_factor=8, nominal_period=2.0, theta=1.05)
+    multiplier = FrequencyMultiplier(grid, multiplier_config, seed=5)
+    measured_max, measured_avg = measure_fast_clock_skew(
+        grid, result.trigger_times, multiplier
+    )
+    hex_skew = float(np.nanmax(np.abs(np.diff(result.trigger_times, axis=1))))
+    print(
+        format_kv(
+            {
+                "hex_pulse_neighbor_skew": hex_skew,
+                "fast_clock_skew_measured_max": measured_max,
+                "fast_clock_skew_measured_avg": measured_avg,
+                "fast_clock_skew_bound": fast_clock_skew_bound(hex_skew, multiplier_config),
+                "fast_ticks_per_pulse": multiplier_config.multiplication_factor,
+                "tick_window": multiplier_config.effective_window,
+            },
+            title="Frequency multiplication on top of HEX pulses",
+        )
+    )
+    print()
+    print(
+        "The clock tree's wire length, neighbour skew and blast radius all grow\n"
+        "with the system size, while HEX's stay flat (wire), bounded (skew) and\n"
+        "local (faults); frequency multiplication recovers a fast clock at the\n"
+        "cost of a small drift-proportional skew increase."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""HEX: Byzantine fault-tolerant, self-stabilizing clock distribution on hexagonal grids.
+
+This package is a faithful, laptop-scale reproduction of
+
+    Dolev, Fuegger, Lenzen, Perner, Schmid:
+    "HEX: Scaling honeycombs is easier than scaling clock trees",
+    SPAA 2013 / Journal of Computer and System Sciences 82 (2016) 929-956.
+
+The package is organised as a set of subsystems (see ``DESIGN.md`` at the
+repository root for the full inventory):
+
+``repro.core``
+    The paper's contribution: the cylindric hexagonal grid topology, the HEX
+    pulse-forwarding algorithm (Algorithm 1 / Fig. 7 state machines), the
+    analytic single-pulse solver, causal/zig-zag path machinery
+    (Definitions 1-2), the worst-case skew bounds (Lemmas 3-5, Corollary 1,
+    Theorems 1-2) and deterministic worst-case constructions (Figs. 5 and 17).
+
+``repro.simulation``
+    A discrete-event simulator replacing the paper's ModelSim/VHDL testbed.
+
+``repro.clocksource``
+    Layer-0 pulse generation: the four skew scenarios of Table 1 and a
+    multi-pulse synchronized source with pulse separation ``S`` and drift.
+
+``repro.faults``
+    Fault injection: Byzantine (per-link constant-0/constant-1), fail-silent
+    and crash faults, plus Condition 1 (fault separation) placement.
+
+``repro.analysis``
+    Skew statistics, histograms, stabilization-time estimation and
+    fault-locality analysis (the paper's Haskell post-processing).
+
+``repro.clocktree``
+    The baseline of the title: an H-tree clock distribution model used for the
+    HEX-vs-clock-tree scaling comparison.
+
+``repro.multiplication`` and ``repro.embedding``
+    The Section 5 extensions: frequency multiplication and physical embedding
+    (flattened cylinder and doubling-layer topologies).
+
+``repro.experiments``
+    One module per table/figure of the evaluation section, each of which
+    regenerates the corresponding rows/series.
+
+Quickstart
+----------
+>>> from repro import HexGrid, TimingConfig, simulate_single_pulse
+>>> from repro.clocksource import scenario_layer0_times
+>>> grid = HexGrid(layers=10, width=8)
+>>> cfg = TimingConfig.paper_defaults()
+>>> t0 = scenario_layer0_times("zero", grid.width, cfg, seed=1)
+>>> result = simulate_single_pulse(grid, cfg, layer0_times=t0, seed=1)
+>>> result.trigger_times.shape
+(11, 8)
+"""
+
+from __future__ import annotations
+
+from repro.core.topology import HexGrid, NodeId, LinkId, Direction
+from repro.core.parameters import TimingConfig, TimeoutConfig, condition2_timeouts
+from repro.core.pulse_solver import solve_single_pulse, PulseSolution
+from repro.core.bounds import (
+    theorem1_intra_layer_bound,
+    lemma3_skew_potential_bound,
+    lemma4_intra_layer_bound,
+    corollary1_intra_layer_bound,
+    lemma5_pulse_skew_bound,
+)
+from repro.simulation.runner import (
+    simulate_single_pulse,
+    simulate_multi_pulse,
+    SinglePulseResult,
+    MultiPulseResult,
+)
+from repro.analysis.skew import SkewStatistics, intra_layer_skews, inter_layer_skews
+from repro.faults.models import FaultModel, FaultType
+from repro.faults.placement import place_faults, check_condition1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HexGrid",
+    "NodeId",
+    "LinkId",
+    "Direction",
+    "TimingConfig",
+    "TimeoutConfig",
+    "condition2_timeouts",
+    "solve_single_pulse",
+    "PulseSolution",
+    "theorem1_intra_layer_bound",
+    "lemma3_skew_potential_bound",
+    "lemma4_intra_layer_bound",
+    "corollary1_intra_layer_bound",
+    "lemma5_pulse_skew_bound",
+    "simulate_single_pulse",
+    "simulate_multi_pulse",
+    "SinglePulseResult",
+    "MultiPulseResult",
+    "SkewStatistics",
+    "intra_layer_skews",
+    "inter_layer_skews",
+    "FaultModel",
+    "FaultType",
+    "place_faults",
+    "check_condition1",
+    "__version__",
+]

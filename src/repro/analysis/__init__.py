@@ -1,0 +1,51 @@
+"""Post-processing and statistics substrate (the paper's Haskell framework).
+
+* :mod:`repro.analysis.skew` -- intra-/inter-layer skew matrices, the
+  ``sigma^op`` / ``sigma-hat^op`` aggregations of Section 4.1 and per-layer
+  statistics (Fig. 12).
+* :mod:`repro.analysis.traces` -- trigger-time matrices and pulse-wave series
+  (Figs. 8, 9, 13, 14).
+* :mod:`repro.analysis.histograms` -- cumulative skew histograms (Figs. 10, 11).
+* :mod:`repro.analysis.locality` -- h-hop exclusion zones around faults
+  (Figs. 15, 16) and fault-locality metrics.
+* :mod:`repro.analysis.stabilization` -- pulse assignment and stabilization-time
+  estimation for multi-pulse runs (Figs. 18, 19).
+"""
+
+from repro.analysis.skew import (
+    SkewStatistics,
+    intra_layer_skews,
+    inter_layer_skews,
+    aggregate,
+    per_layer_inter_stats,
+    per_layer_intra_stats,
+)
+from repro.analysis.histograms import cumulative_histogram, skew_histograms
+from repro.analysis.locality import exclusion_mask, inclusion_mask, skew_vs_distance
+from repro.analysis.stabilization import (
+    PulseAssignment,
+    assign_pulses,
+    stabilization_time,
+)
+from repro.analysis.traces import wave_rows, layer_series, save_trace, load_trace
+
+__all__ = [
+    "SkewStatistics",
+    "intra_layer_skews",
+    "inter_layer_skews",
+    "aggregate",
+    "per_layer_inter_stats",
+    "per_layer_intra_stats",
+    "cumulative_histogram",
+    "skew_histograms",
+    "exclusion_mask",
+    "inclusion_mask",
+    "skew_vs_distance",
+    "PulseAssignment",
+    "assign_pulses",
+    "stabilization_time",
+    "wave_rows",
+    "layer_series",
+    "save_trace",
+    "load_trace",
+]

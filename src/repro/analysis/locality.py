@@ -1,0 +1,128 @@
+"""Fault-locality analysis: h-hop exclusion zones and skew-vs-distance profiles.
+
+Figs. 15 and 16 of the paper compare the skew statistics of faulty runs twice:
+once over all correct nodes (``h = 0``) and once after additionally discarding
+the *outgoing 1-hop neighbours* of the faulty nodes (``h = 1``).  The
+observation is that with ``h = 1`` the fault effects essentially disappear,
+i.e. HEX confines the damage of a fault to its immediate out-neighbourhood.
+
+:func:`exclusion_mask` computes the set of nodes to discard for a given ``h``
+(faulty nodes plus everything reachable from them via at most ``h`` outgoing
+links); :func:`inclusion_mask` is its complement combined with the correctness
+mask, ready to be passed to the skew statistics.  :func:`skew_vs_distance`
+profiles the maximum intra-layer skew as a function of the hop distance from
+the nearest fault, quantifying fault locality directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.analysis.skew import intra_layer_skews
+from repro.core.topology import HexGrid, NodeId
+from repro.faults.models import FaultModel
+
+__all__ = ["excluded_nodes", "exclusion_mask", "inclusion_mask", "skew_vs_distance"]
+
+
+def excluded_nodes(
+    grid: HexGrid, faulty_nodes: Iterable[NodeId], hops: int
+) -> Set[NodeId]:
+    """Faulty nodes plus their outgoing ``<= hops``-hop neighbourhood.
+
+    ``hops = 0`` returns the faulty nodes themselves; ``hops = 1`` additionally
+    returns their direct out-neighbours (the ``h = 1`` data sets of
+    Figs. 15/16), and so on via breadth-first search over outgoing links.
+    """
+    if hops < 0:
+        raise ValueError(f"hops must be non-negative, got {hops}")
+    start = {grid.validate_node(node) for node in faulty_nodes}
+    result: Set[NodeId] = set(start)
+    frontier = deque((node, 0) for node in sorted(start))
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == hops:
+            continue
+        for neighbor in grid.out_neighbors(node).values():
+            if neighbor not in result:
+                result.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+    return result
+
+
+def exclusion_mask(
+    grid: HexGrid, faulty_nodes: Iterable[NodeId], hops: int
+) -> np.ndarray:
+    """Boolean mask of shape ``(L + 1, W)``: ``True`` where the node is *excluded*."""
+    mask = np.zeros(grid.shape, dtype=bool)
+    for layer, column in excluded_nodes(grid, faulty_nodes, hops):
+        mask[layer, column] = True
+    return mask
+
+
+def inclusion_mask(
+    grid: HexGrid,
+    fault_model: Optional[FaultModel],
+    hops: int = 0,
+) -> np.ndarray:
+    """Mask of nodes to *include* in skew statistics.
+
+    Combines the correctness mask of the fault model with the ``h``-hop
+    exclusion zone around its faulty nodes.  With no fault model all nodes are
+    included.
+    """
+    mask = np.ones(grid.shape, dtype=bool)
+    if fault_model is None:
+        return mask
+    mask &= fault_model.correctness_mask()
+    if hops > 0:
+        mask &= ~exclusion_mask(grid, fault_model.faulty_nodes(), hops)
+    else:
+        mask &= ~exclusion_mask(grid, fault_model.faulty_nodes(), 0)
+    return mask
+
+
+def skew_vs_distance(
+    grid: HexGrid,
+    times: np.ndarray,
+    fault_model: FaultModel,
+    max_distance: int = 5,
+) -> Dict[int, float]:
+    """Maximum intra-layer skew as a function of the distance to the nearest fault.
+
+    For every hop distance ``delta`` in ``0..max_distance`` the returned dict
+    maps ``delta`` to the maximum intra-layer neighbour skew over all pairs
+    whose *closer* endpoint is exactly ``delta`` hops (undirected) away from
+    the nearest faulty node.  Entries without any valid pair carry ``nan``.
+
+    This is the quantitative version of the paper's fault-locality claim:
+    the profile should drop to the fault-free level within one or two hops.
+    """
+    faulty = fault_model.faulty_nodes()
+    if not faulty:
+        raise ValueError("skew_vs_distance requires at least one faulty node")
+    skews = intra_layer_skews(times, fault_model.correctness_mask())
+
+    # Distance of every node to the nearest faulty node (undirected hops).
+    distance = np.full(grid.shape, np.inf)
+    for node in grid.nodes():
+        layer, column = node
+        distance[layer, column] = min(grid.hop_distance(node, fault) for fault in faulty)
+
+    result: Dict[int, float] = {}
+    for delta in range(max_distance + 1):
+        values: List[float] = []
+        for layer in range(1, grid.layers + 1):
+            for column in range(grid.width):
+                value = skews[layer, column]
+                if not np.isfinite(value):
+                    continue
+                right = (column + 1) % grid.width
+                pair_distance = min(distance[layer, column], distance[layer, right])
+                if pair_distance == delta:
+                    values.append(float(value))
+        result[delta] = float(np.max(values)) if values else float("nan")
+    return result

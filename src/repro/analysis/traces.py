@@ -1,0 +1,103 @@
+"""Trigger-time traces and pulse-wave series (Figs. 8, 9, 13, 14).
+
+The 3D wave plots of the paper show, for one run, the firing time ``t_{l,i}``
+of every node over the ``(layer, column)`` plane.  This module provides the
+small data-wrangling helpers needed to regenerate those series without any
+plotting dependency: flat row dumps (for CSV export / external plotting),
+per-layer series, and ``.npz`` persistence of whole run sets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["wave_rows", "layer_series", "save_trace", "load_trace"]
+
+
+def wave_rows(
+    times: np.ndarray, truncate_layers: Optional[int] = None
+) -> List[Dict[str, float]]:
+    """Flatten a trigger-time matrix into plottable rows.
+
+    Parameters
+    ----------
+    times:
+        Trigger-time matrix of shape ``(L + 1, W)``.
+    truncate_layers:
+        Only emit layers ``0..truncate_layers`` (the paper truncates its wave
+        plots to the first 30 layers for readability).
+
+    Returns
+    -------
+    list of dict
+        One dict per node with keys ``layer``, ``column``, ``time`` (``time``
+        is ``nan`` for faulty / never-triggered nodes).
+    """
+    times = np.asarray(times, dtype=float)
+    num_layers, width = times.shape
+    top = num_layers if truncate_layers is None else min(truncate_layers + 1, num_layers)
+    rows: List[Dict[str, float]] = []
+    for layer in range(top):
+        for column in range(width):
+            value = times[layer, column]
+            rows.append(
+                {
+                    "layer": float(layer),
+                    "column": float(column),
+                    "time": float(value) if np.isfinite(value) else float("nan"),
+                }
+            )
+    return rows
+
+
+def layer_series(times: np.ndarray, layer: int) -> np.ndarray:
+    """The firing times of one layer (a single "ridge" of the wave plot)."""
+    times = np.asarray(times, dtype=float)
+    if not 0 <= layer < times.shape[0]:
+        raise ValueError(f"layer {layer} out of range [0, {times.shape[0] - 1}]")
+    return times[layer, :].copy()
+
+
+def save_trace(
+    path: Union[str, Path],
+    times: Union[np.ndarray, Sequence[np.ndarray]],
+    metadata: Optional[Dict[str, Union[str, float, int]]] = None,
+) -> Path:
+    """Persist one trigger-time matrix (or a run set of them) as ``.npz``.
+
+    Parameters
+    ----------
+    path:
+        Destination file; the ``.npz`` suffix is added if missing.
+    times:
+        A single ``(L + 1, W)`` matrix or a sequence of them (stacked into a
+        3D array ``(runs, L + 1, W)``).
+    metadata:
+        Optional scalar metadata stored alongside the data.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    stacked = np.asarray(times, dtype=float)
+    payload: Dict[str, np.ndarray] = {"times": stacked}
+    if metadata:
+        for key, value in metadata.items():
+            payload[f"meta_{key}"] = np.asarray(value)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Load a trace saved by :func:`save_trace`.
+
+    Returns a dict with the ``times`` array and any ``meta_*`` entries.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro`` / ``hex-repro``.
+
+Subcommands
+-----------
+``list``
+    List all reproducible experiments (tables and figures).
+``run <experiment> [...]``
+    Run one experiment and print its text report; ``all`` runs every one.
+``simulate [...]``
+    Run a one-off single-pulse simulation and print its skew statistics
+    (a quick way to explore grid sizes / scenarios / fault counts).
+
+Examples
+--------
+::
+
+    hex-repro list
+    hex-repro run table1 --runs 50
+    hex-repro run fig15 --quick
+    hex-repro simulate --layers 30 --width 16 --scenario iv --faults 2 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.skew import SkewStatistics
+from repro.clocksource.scenarios import scenario_label, scenario_layer0_times
+from repro.core.parameters import TimingConfig
+from repro.core.topology import HexGrid
+from repro.experiments import EXPERIMENTS, load_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_kv
+from repro.experiments.single_pulse import run_scenario_set
+from repro.faults.models import FaultType
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="hex-repro",
+        description="Reproduce the HEX clock-distribution paper (Dolev et al., SPAA'13/JCSS'16).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list all reproducible experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
+    run_parser.add_argument("--runs", type=int, default=None, help="runs per data point")
+    run_parser.add_argument("--seed", type=int, default=None, help="base seed")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="use the small quick configuration (20x10 grid)"
+    )
+    run_parser.add_argument(
+        "--paper", action="store_true", help="use the full paper-scale configuration (250 runs)"
+    )
+
+    sim_parser = subparsers.add_parser("simulate", help="one-off single-pulse simulation")
+    sim_parser.add_argument("--layers", type=int, default=50, help="grid length L")
+    sim_parser.add_argument("--width", type=int, default=20, help="grid width W")
+    sim_parser.add_argument(
+        "--scenario", default="i", help="layer-0 scenario: i, ii, iii, iv (or zero/ramp/...)"
+    )
+    sim_parser.add_argument("--faults", type=int, default=0, help="number of Byzantine nodes")
+    sim_parser.add_argument(
+        "--fail-silent", action="store_true", help="use fail-silent instead of Byzantine faults"
+    )
+    sim_parser.add_argument("--runs", type=int, default=10, help="number of runs")
+    sim_parser.add_argument("--seed", type=int, default=1, help="base seed")
+    return parser
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    if getattr(args, "paper", False):
+        config = ExperimentConfig.paper()
+    elif getattr(args, "quick", False):
+        config = ExperimentConfig.quick()
+    else:
+        config = ExperimentConfig()
+    if getattr(args, "runs", None):
+        config = config.with_runs(args.runs)
+    if getattr(args, "seed", None) is not None:
+        config = config.with_seed(args.seed)
+    return config
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> str:
+    module = load_experiment(name)
+    config = _experiment_config(args)
+    # Experiments differ slightly in their run() signatures; pass what they accept.
+    import inspect
+
+    signature = inspect.signature(module.run)
+    kwargs = {}
+    if "config" in signature.parameters:
+        kwargs["config"] = config
+    if "runs" in signature.parameters and args.runs is not None:
+        kwargs["runs"] = args.runs
+    result = module.run(**kwargs)
+    render = getattr(result, "render", None)
+    if callable(render):
+        return render()
+    return repr(result)
+
+
+def _cmd_list() -> int:
+    print("Available experiments:")
+    for name in sorted(EXPERIMENTS):
+        module = load_experiment(name)
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:10s} {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str]
+    if args.experiment.lower() == "all":
+        names = sorted(EXPERIMENTS)
+    else:
+        names = [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_run_experiment(name, args))
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        layers=args.layers, width=args.width, runs=args.runs, seed=args.seed
+    )
+    fault_type = FaultType.FAIL_SILENT if args.fail_silent else FaultType.BYZANTINE
+    run_set = run_scenario_set(
+        config,
+        args.scenario,
+        num_faults=args.faults,
+        fault_type=fault_type,
+    )
+    stats: SkewStatistics = run_set.statistics()
+    header = (
+        f"{args.runs} runs on a {args.layers}x{args.width} grid, "
+        f"scenario {scenario_label(args.scenario)}, "
+        f"{args.faults} {fault_type.value} fault(s)"
+    )
+    print(format_kv(stats.as_row(), title=header))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

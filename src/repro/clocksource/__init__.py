@@ -1,0 +1,38 @@
+"""Layer-0 clock-source substrate.
+
+HEX assumes that the ``W`` nodes of layer 0 act as synchronized clock sources
+generating well-separated pulses (Section 2); the paper points at DARTS and
+FATAL+ as suitable implementations.  This subpackage provides
+
+* :mod:`repro.clocksource.scenarios` -- the four initial-skew scenarios used in
+  every evaluation table/figure: (i) zero skew, (ii) uniform in ``[0, d-]``,
+  (iii) uniform in ``[0, d+]``, (iv) a ramp of ``+-d+`` per column;
+* :mod:`repro.clocksource.generator` -- multi-pulse schedules with pulse
+  separation ``S`` and per-pulse scenario offsets, used by the stabilization
+  experiments;
+* :mod:`repro.clocksource.fatal` -- a deliberately simplified, quorum-based,
+  self-stabilizing pulse synchronizer standing in for FATAL+/DARTS, showing how
+  HEX integrates with a distributed multi-source clock generation layer.
+"""
+
+from repro.clocksource.scenarios import (
+    SCENARIOS,
+    Scenario,
+    scenario_layer0_times,
+    scenario_skew_potential,
+    scenario_label,
+)
+from repro.clocksource.generator import generate_pulse_schedule, PulseScheduleConfig
+from repro.clocksource.fatal import QuorumPulseSynchronizer, SynchronizerConfig
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "scenario_layer0_times",
+    "scenario_skew_potential",
+    "scenario_label",
+    "generate_pulse_schedule",
+    "PulseScheduleConfig",
+    "QuorumPulseSynchronizer",
+    "SynchronizerConfig",
+]

@@ -1,0 +1,220 @@
+"""A simplified quorum-based pulse synchronizer standing in for FATAL+/DARTS.
+
+The paper delegates the generation of synchronized, well-separated layer-0
+pulses to Byzantine fault-tolerant, self-stabilizing pulse-generation protocols
+such as DARTS or FATAL+, which require a fully connected topology among the
+(few) layer-0 nodes.  Re-implementing FATAL+ in full is outside the scope of
+the HEX paper itself ("the details are outside the scope of this paper"); what
+HEX needs from it is only the *interface*: every correct source fires each
+pulse within a bounded window, consecutive pulses are separated by at least
+``S``, and the protocol recovers from arbitrary states despite up to ``f_0``
+Byzantine sources.
+
+:class:`QuorumPulseSynchronizer` provides exactly that interface with a
+deliberately simple approve-and-fire protocol over a fully connected source
+clique, so that end-to-end examples can drive a HEX grid from a *distributed*
+clock-source layer rather than from an oracle schedule:
+
+1. Each source has a local clock with drift in ``[1, theta]``.
+2. After firing pulse ``k`` a source waits until ``S`` has elapsed on its local
+   clock and then broadcasts ``READY(k + 1)``.
+3. A source fires pulse ``k + 1`` as soon as it has received ``READY(k + 1)``
+   messages from ``n - f_0`` distinct sources (its own included) -- a classical
+   quorum rule that tolerates ``f_0 < n / 3`` Byzantine sources -- or when it
+   observes that some correct source has already fired (relay rule), whichever
+   comes first.
+
+The resulting firing times satisfy the two properties HEX relies on (bounded
+per-pulse spread, minimum separation), which are asserted in the test suite.
+This is a *substitute substrate*, not a reproduction of FATAL+; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.parameters import TimingConfig
+
+__all__ = ["SynchronizerConfig", "QuorumPulseSynchronizer"]
+
+
+@dataclass(frozen=True)
+class SynchronizerConfig:
+    """Configuration of the quorum pulse synchronizer.
+
+    Attributes
+    ----------
+    num_sources:
+        Number of layer-0 sources ``n`` (= grid width ``W``).
+    num_byzantine:
+        Number of Byzantine sources ``f_0`` tolerated; must satisfy
+        ``3 f_0 < n``.
+    separation:
+        The nominal pulse separation ``S`` each source waits on its local clock.
+    message_delay_bounds:
+        ``(d-, d+)`` bounds for messages among sources (the clique is small and
+        physically compact, so these may differ from the grid's bounds).
+    theta:
+        Local clock drift bound.
+    """
+
+    num_sources: int
+    num_byzantine: int = 0
+    separation: float = 100.0
+    message_delay_bounds: Tuple[float, float] = (0.5, 1.0)
+    theta: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.num_sources < 2:
+            raise ValueError("need at least two sources")
+        if self.num_byzantine < 0 or 3 * self.num_byzantine >= self.num_sources:
+            raise ValueError(
+                f"need 3 f_0 < n, got f_0={self.num_byzantine}, n={self.num_sources}"
+            )
+        if self.separation <= 0:
+            raise ValueError("separation must be positive")
+        d_min, d_max = self.message_delay_bounds
+        if not 0 < d_min <= d_max:
+            raise ValueError("message delay bounds must satisfy 0 < d- <= d+")
+        if self.theta < 1.0:
+            raise ValueError("theta must be >= 1")
+
+    @property
+    def quorum(self) -> int:
+        """The quorum size ``n - f_0``."""
+        return self.num_sources - self.num_byzantine
+
+
+class QuorumPulseSynchronizer:
+    """Simulate the quorum pulse synchronizer and emit a layer-0 schedule.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters.
+    rng:
+        Randomness for message delays, clock drifts and Byzantine behaviour.
+    byzantine_sources:
+        Indices of the Byzantine sources; defaults to the last ``f_0`` indices.
+        Byzantine sources broadcast READY messages at arbitrary (random early)
+        times and never follow the protocol; correct sources must stay
+        synchronized regardless.
+    """
+
+    def __init__(
+        self,
+        config: SynchronizerConfig,
+        rng: Optional[np.random.Generator] = None,
+        byzantine_sources: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng()
+        if byzantine_sources is None:
+            byzantine_sources = range(
+                config.num_sources - config.num_byzantine, config.num_sources
+            )
+        self.byzantine: Set[int] = {int(index) for index in byzantine_sources}
+        if len(self.byzantine) != config.num_byzantine:
+            raise ValueError(
+                f"expected {config.num_byzantine} Byzantine sources, got {len(self.byzantine)}"
+            )
+        for index in self.byzantine:
+            if not 0 <= index < config.num_sources:
+                raise ValueError(f"Byzantine source index {index} out of range")
+        # Per-source constant drift factor in [1, theta].
+        self._drift = 1.0 + self.rng.uniform(0.0, config.theta - 1.0, size=config.num_sources)
+
+    def _message_delay(self) -> float:
+        d_min, d_max = self.config.message_delay_bounds
+        return float(self.rng.uniform(d_min, d_max))
+
+    def generate_schedule(self, num_pulses: int, start_time: float = 0.0) -> np.ndarray:
+        """Run the protocol and return the firing times of the correct sources.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(num_pulses, n)``; entries of Byzantine sources are ``nan``
+            (they produce no trustworthy pulses).  Correct entries satisfy the
+            HEX interface: per-pulse spread at most ``2 d+_src + (theta - 1) S``
+            and separation at least ``S / theta`` between consecutive pulses of
+            the same source.
+        """
+        if num_pulses < 1:
+            raise ValueError("num_pulses must be >= 1")
+        n = self.config.num_sources
+        quorum = self.config.quorum
+        d_max = self.config.message_delay_bounds[1]
+        schedule = np.full((num_pulses, n), np.nan, dtype=float)
+        correct = [index for index in range(n) if index not in self.byzantine]
+
+        # Pulse 0: sources fire within a small window around start_time (the
+        # protocol is assumed to have synchronized pulse 0; stabilization of
+        # the source layer itself is FATAL+'s job, not HEX's).
+        previous = {
+            index: start_time + float(self.rng.uniform(0.0, d_max)) for index in correct
+        }
+        for index in correct:
+            schedule[0, index] = previous[index]
+
+        for pulse in range(1, num_pulses):
+            # Step 2: READY broadcast times (local S elapsed, stretched by drift).
+            ready_sent = {
+                index: previous[index] + self.config.separation * self._drift[index]
+                for index in correct
+            }
+            # Byzantine sources may send READY arbitrarily early (most
+            # aggressive strategy for causing premature pulses).
+            earliest_correct_ready = min(ready_sent.values())
+            byz_ready = {
+                index: earliest_correct_ready - self.config.separation
+                for index in self.byzantine
+            }
+
+            firing: Dict[int, float] = {}
+            for receiver in correct:
+                arrivals: List[float] = []
+                for sender in range(n):
+                    if sender == receiver:
+                        send_time = ready_sent.get(sender, np.inf)
+                        delay = 0.0
+                    elif sender in self.byzantine:
+                        send_time = byz_ready[sender]
+                        delay = self._message_delay()
+                    else:
+                        send_time = ready_sent[sender]
+                        delay = self._message_delay()
+                    arrivals.append(send_time + delay)
+                arrivals.sort()
+                # Quorum rule: fire upon the (n - f_0)-th READY arrival.  Since
+                # f_0 arrivals may stem from Byzantine sources, at least
+                # n - 2 f_0 > f_0 correct sources support the pulse.
+                firing[receiver] = arrivals[quorum - 1]
+
+            # Relay rule keeps laggards close: no correct source fires later
+            # than the earliest correct firing plus one message delay bound.
+            earliest = min(firing.values())
+            for receiver in correct:
+                firing[receiver] = min(firing[receiver], earliest + d_max)
+
+            for index in correct:
+                schedule[pulse, index] = firing[index]
+            previous = firing
+
+        return schedule
+
+    def spread_bound(self) -> float:
+        """Analytic bound on the per-pulse spread among correct sources.
+
+        By the relay rule no correct source fires more than one source-to-source
+        message delay ``d+_src`` after the earliest correct source; adding the
+        drift-induced spread of the READY send times of the *first* pulse gives
+        ``d+_src + (theta - 1) S`` as a conservative per-pulse bound.
+        """
+        return self.config.message_delay_bounds[1] + (
+            self.config.theta - 1.0
+        ) * self.config.separation

@@ -1,0 +1,159 @@
+"""HEX vs clock tree: the scaling study behind the paper's title.
+
+The introduction argues three structural advantages of the HEX grid over a
+buffered clock tree of the same size:
+
+1. **Wire length.**  With constant node density, HEX links have length
+   ``Theta(1)`` while the top-level arms of an H-tree have length
+   ``Theta(sqrt(n))`` -- so HEX needs neither strong buffers nor engineered
+   wire geometries to keep the per-link uncertainty ``epsilon`` small.
+2. **Neighbour skew.**  HEX bounds the skew between grid neighbours by
+   ``O(W epsilon)`` (Theorem 1); in a tree the skew between physically adjacent
+   sinks in different subtrees grows with the delay variation accumulated along
+   ``Theta(sqrt(n))`` of disjoint path.
+3. **Robustness.**  A single broken buffer/wire in a tree disconnects a whole
+   subtree (up to all ``n`` sinks); HEX tolerates isolated Byzantine nodes at a
+   constant density (in expectation ``Theta(sqrt(n))`` random faults before
+   Condition 1 is violated), and a fault's skew impact stays local.
+
+:func:`compare_scaling` quantifies all three as a function of the system size,
+using the clock-tree substrate of this subpackage and the HEX bounds/fault
+machinery of :mod:`repro.core` and :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clocktree.delays import TreeDelayConfig
+from repro.clocktree.faults import robustness_report
+from repro.clocktree.htree import build_htree
+from repro.clocktree.simulation import tree_skew_report
+from repro.core.bounds import theorem1_uniform_bound
+from repro.core.parameters import TimingConfig
+
+__all__ = ["ScalingComparison", "compare_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingComparison:
+    """One row of the HEX-vs-tree scaling table.
+
+    All HEX quantities assume a roughly square grid with ``W = L ~ sqrt(n)``
+    nodes and unit node pitch; all tree quantities are measured on an H-tree
+    with ``4^k >= n`` sinks on the same die.
+    """
+
+    #: Number of clocked endpoints (HEX nodes / tree sinks).
+    num_endpoints: int
+    #: HEX grid width used for the comparison (``W ~ sqrt(n)``).
+    hex_width: int
+    #: Maximum link length in the HEX grid (constant, in sink pitches).
+    hex_max_wire_length: float
+    #: Longest individual wire segment of the H-tree (in sink pitches).
+    tree_max_wire_length: float
+    #: Worst-case HEX neighbour skew bound (Theorem 1, Delta_0 = 0).
+    hex_neighbor_skew_bound: float
+    #: Measured maximum skew between physically adjacent tree sinks.
+    tree_max_neighbor_skew: float
+    #: Measured average skew between physically adjacent tree sinks.
+    tree_avg_neighbor_skew: float
+    #: Number of clock buffers on a tree root-to-sink path.
+    tree_depth: int
+    #: Expected number of uniformly random faulty nodes HEX sustains before
+    #: Condition 1 is violated (~ sqrt(n) / 4).
+    hex_expected_faults_tolerated: float
+    #: Endpoints lost by the worst single non-root tree fault.
+    tree_worst_internal_fault_loss: int
+    #: Endpoints lost by a single HEX node fault (the fault itself; its skew
+    #: impact is confined to the 1-hop out-neighbourhood).
+    hex_single_fault_loss: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Dictionary form for report rendering."""
+        return {
+            "n": float(self.num_endpoints),
+            "hex_W": float(self.hex_width),
+            "hex_max_wire": self.hex_max_wire_length,
+            "tree_max_wire": self.tree_max_wire_length,
+            "hex_skew_bound": self.hex_neighbor_skew_bound,
+            "tree_max_neighbor_skew": self.tree_max_neighbor_skew,
+            "tree_avg_neighbor_skew": self.tree_avg_neighbor_skew,
+            "tree_depth": float(self.tree_depth),
+            "hex_faults_tolerated": self.hex_expected_faults_tolerated,
+            "tree_worst_internal_fault_loss": float(self.tree_worst_internal_fault_loss),
+            "hex_single_fault_loss": float(self.hex_single_fault_loss),
+        }
+
+
+def compare_scaling(
+    tree_levels: Sequence[int] = (2, 3, 4, 5),
+    timing: Optional[TimingConfig] = None,
+    tree_config: Optional[TreeDelayConfig] = None,
+    runs_per_size: int = 5,
+    seed: int = 0,
+) -> List[ScalingComparison]:
+    """Compute the HEX-vs-tree comparison over a sweep of system sizes.
+
+    Parameters
+    ----------
+    tree_levels:
+        H-tree recursion depths ``k``; each yields ``n = 4^k`` endpoints.
+    timing:
+        HEX delay bounds; defaults to the paper's.  The per-unit wire delay of
+        the tree is scaled so that a wire of HEX-link length has delay ``d+``
+        (i.e. both systems use the same technology).
+    tree_config:
+        Tree delay parameters; by default the wire delay per sink pitch equals
+        ``d+`` (HEX link = one sink pitch) and the relative variation is
+        ``epsilon / d+`` -- the same relative uncertainty the HEX links have.
+    runs_per_size:
+        Number of random delay samples per tree size (the maximum over the
+        samples is reported).
+    seed:
+        Base seed for the delay samples.
+    """
+    if timing is None:
+        timing = TimingConfig.paper_defaults()
+    if tree_config is None:
+        tree_config = TreeDelayConfig(
+            wire_delay_per_unit=timing.d_max,
+            buffer_delay=0.2 * timing.d_max,
+            relative_variation=timing.epsilon / timing.d_max,
+        )
+    rng = np.random.default_rng(seed)
+
+    results: List[ScalingComparison] = []
+    for levels in tree_levels:
+        tree = build_htree(levels, span=float(2**levels))
+        num_endpoints = tree.num_sinks
+        hex_width = max(3, int(round(math.sqrt(num_endpoints))))
+
+        max_neighbor = 0.0
+        avg_neighbor = 0.0
+        for _ in range(runs_per_size):
+            report = tree_skew_report(tree, tree_config, rng=rng)
+            max_neighbor = max(max_neighbor, report.max_neighbor_skew)
+            avg_neighbor += report.avg_neighbor_skew / runs_per_size
+        robustness = robustness_report(tree)
+
+        results.append(
+            ScalingComparison(
+                num_endpoints=num_endpoints,
+                hex_width=hex_width,
+                hex_max_wire_length=1.0,
+                tree_max_wire_length=tree.max_segment_length(),
+                hex_neighbor_skew_bound=theorem1_uniform_bound(timing, hex_width),
+                tree_max_neighbor_skew=max_neighbor,
+                tree_avg_neighbor_skew=avg_neighbor,
+                tree_depth=tree.depth(),
+                hex_expected_faults_tolerated=math.sqrt(num_endpoints) / 4.0,
+                tree_worst_internal_fault_loss=robustness.worst_case_internal_lost,
+                hex_single_fault_loss=1,
+            )
+        )
+    return results

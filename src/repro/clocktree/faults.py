@@ -1,0 +1,91 @@
+"""Robustness of the clock-tree baseline: sinks lost per broken element.
+
+"If just one internal wire or clock buffer in a clock tree breaks, all the
+functional units supplied via the affected subtree will stop working
+correctly."  This module quantifies that: the number of sinks disconnected by
+the failure of any single tree edge/buffer, and summary statistics (worst case,
+average over a uniformly random fault) used in the HEX comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.clocktree.htree import HTree
+
+__all__ = ["subtree_sink_counts", "sinks_lost_by_fault", "robustness_report", "TreeRobustnessReport"]
+
+
+def subtree_sink_counts(tree: HTree) -> Dict[int, int]:
+    """Number of sinks in the subtree rooted at every node.
+
+    Computed bottom-up (children have larger indices than their parents by
+    construction, so a single reverse sweep suffices).
+    """
+    counts: Dict[int, int] = {}
+    for node in reversed(list(tree.nodes())):
+        if node.is_sink:
+            counts[node.index] = 1
+        else:
+            counts[node.index] = sum(counts[child] for child in node.children)
+    return counts
+
+
+def sinks_lost_by_fault(tree: HTree, failed_node: int) -> int:
+    """Sinks disconnected when the buffer/wire feeding ``failed_node`` breaks.
+
+    Failing the root means losing every sink (the single-point-of-failure the
+    paper's introduction highlights).
+    """
+    counts = subtree_sink_counts(tree)
+    if failed_node not in counts:
+        raise ValueError(f"unknown tree node {failed_node}")
+    return counts[failed_node]
+
+
+@dataclass(frozen=True)
+class TreeRobustnessReport:
+    """Summary of the damage a single element failure causes.
+
+    Attributes
+    ----------
+    num_sinks:
+        Total number of sinks.
+    worst_case_lost:
+        Sinks lost in the worst case (= all of them, root failure).
+    worst_case_internal_lost:
+        Sinks lost by the worst non-root internal element (a quarter of the
+        die for an H-tree).
+    expected_lost:
+        Expected sinks lost for a uniformly random single element failure.
+    single_fault_tolerated:
+        Whether any single fault leaves all sinks clocked (always ``False`` for
+        a tree; provided for symmetry with the HEX report).
+    """
+
+    num_sinks: int
+    worst_case_lost: int
+    worst_case_internal_lost: int
+    expected_lost: float
+    single_fault_tolerated: bool
+
+
+def robustness_report(tree: HTree) -> TreeRobustnessReport:
+    """Compute the single-fault robustness summary of a tree."""
+    counts = subtree_sink_counts(tree)
+    all_counts = np.array(list(counts.values()), dtype=float)
+    internal_non_root = [
+        counts[node.index]
+        for node in tree.nodes()
+        if node.parent is not None and not node.is_sink
+    ]
+    return TreeRobustnessReport(
+        num_sinks=tree.num_sinks,
+        worst_case_lost=tree.num_sinks,
+        worst_case_internal_lost=max(internal_non_root) if internal_non_root else 1,
+        expected_lost=float(all_counts.mean()),
+        single_fault_tolerated=False,
+    )

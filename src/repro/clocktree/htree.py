@@ -1,0 +1,192 @@
+"""Recursive H-tree construction.
+
+An H-tree distributes a clock from a root driver to ``4^k`` sinks arranged on a
+``2^k x 2^k`` array: at every level the current driver is connected, through an
+H-shaped wire, to the centres of the four quadrants of its region, which become
+the drivers of the next level.  By construction all root-to-sink wire lengths
+are identical (which is precisely why H-trees are the canonical zero-nominal-
+skew topology) -- but the *physical* wire length of the top-level segments
+grows with ``sqrt(n)``, and any delay variation along the long disjoint
+root-to-sink paths translates directly into skew between physically adjacent
+sinks served by different subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["HTreeNode", "HTree", "build_htree"]
+
+
+@dataclass
+class HTreeNode:
+    """One node (buffer or sink) of the H-tree.
+
+    Attributes
+    ----------
+    index:
+        Unique integer id (0 is the root).
+    position:
+        Physical ``(x, y)`` coordinates in sink-pitch units.
+    level:
+        Distance from the root in tree levels (root = 0).
+    parent:
+        Parent node index (``None`` for the root).
+    wire_length:
+        Manhattan length of the wire from the parent (0 for the root).
+    children:
+        Child node indices (empty for sinks).
+    """
+
+    index: int
+    position: Tuple[float, float]
+    level: int
+    parent: Optional[int] = None
+    wire_length: float = 0.0
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def is_sink(self) -> bool:
+        """Whether this node is a leaf (clock sink)."""
+        return not self.children
+
+
+class HTree:
+    """An H-tree: nodes, structure and basic geometric queries."""
+
+    def __init__(self, nodes: List[HTreeNode], levels: int) -> None:
+        self._nodes = nodes
+        self._levels = levels
+        self._sinks = [node.index for node in nodes if node.is_sink]
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of recursion levels ``k`` (the tree has ``4^k`` sinks)."""
+        return self._levels
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of tree nodes (buffers + sinks)."""
+        return len(self._nodes)
+
+    @property
+    def num_sinks(self) -> int:
+        """Number of sinks, ``4^k``."""
+        return len(self._sinks)
+
+    @property
+    def root(self) -> HTreeNode:
+        """The root driver."""
+        return self._nodes[0]
+
+    def node(self, index: int) -> HTreeNode:
+        """Node by index."""
+        return self._nodes[index]
+
+    def nodes(self) -> Iterator[HTreeNode]:
+        """All nodes in index order."""
+        return iter(self._nodes)
+
+    def sinks(self) -> List[HTreeNode]:
+        """All sinks in index order."""
+        return [self._nodes[index] for index in self._sinks]
+
+    def sink_indices(self) -> List[int]:
+        """Indices of all sinks."""
+        return list(self._sinks)
+
+    def path_to_root(self, index: int) -> List[int]:
+        """Node indices from ``index`` up to (and including) the root."""
+        path = [index]
+        current = self._nodes[index]
+        while current.parent is not None:
+            path.append(current.parent)
+            current = self._nodes[current.parent]
+        return path
+
+    def depth(self) -> int:
+        """Number of tree edges on a root-to-sink path."""
+        if not self._sinks:
+            return 0
+        return len(self.path_to_root(self._sinks[0])) - 1
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def root_to_sink_wire_length(self, sink_index: int) -> float:
+        """Total wire length from the root to a sink (identical for all sinks)."""
+        total = 0.0
+        for node_index in self.path_to_root(sink_index):
+            total += self._nodes[node_index].wire_length
+        return total
+
+    def max_segment_length(self) -> float:
+        """The longest individual wire segment (the top-level H arms)."""
+        return max((node.wire_length for node in self._nodes), default=0.0)
+
+    def sink_grid(self) -> Dict[Tuple[int, int], int]:
+        """Map integer sink-array coordinates ``(row, col)`` to sink indices.
+
+        Sinks lie on a regular ``2^k x 2^k`` array; this resolves their array
+        coordinates from their physical positions (used to find physically
+        adjacent sinks when computing neighbour skew).
+        """
+        sinks = self.sinks()
+        xs = sorted({node.position[0] for node in sinks})
+        ys = sorted({node.position[1] for node in sinks})
+        x_index = {x: i for i, x in enumerate(xs)}
+        y_index = {y: i for i, y in enumerate(ys)}
+        return {
+            (y_index[node.position[1]], x_index[node.position[0]]): node.index
+            for node in sinks
+        }
+
+
+def build_htree(levels: int, span: float = 1.0) -> HTree:
+    """Build an H-tree with ``4^levels`` sinks.
+
+    Parameters
+    ----------
+    levels:
+        Number of recursion levels ``k >= 1``.
+    span:
+        Physical side length of the die; the sink pitch is ``span / 2^levels``.
+
+    Returns
+    -------
+    HTree
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    if span <= 0:
+        raise ValueError(f"span must be positive, got {span}")
+
+    nodes: List[HTreeNode] = [
+        HTreeNode(index=0, position=(span / 2.0, span / 2.0), level=0)
+    ]
+    frontier = [(0, span / 2.0)]
+    for level in range(1, levels + 1):
+        next_frontier: List[Tuple[int, float]] = []
+        for parent_index, half in frontier:
+            parent = nodes[parent_index]
+            px, py = parent.position
+            quarter = half / 2.0
+            for dx in (-quarter, quarter):
+                for dy in (-quarter, quarter):
+                    child = HTreeNode(
+                        index=len(nodes),
+                        position=(px + dx, py + dy),
+                        level=level,
+                        parent=parent_index,
+                        wire_length=abs(dx) + abs(dy),
+                    )
+                    nodes.append(child)
+                    parent.children.append(child.index)
+                    next_frontier.append((child.index, quarter))
+        frontier = next_frontier
+
+    return HTree(nodes=nodes, levels=levels)

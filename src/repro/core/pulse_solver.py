@@ -1,0 +1,279 @@
+"""Analytic single-pulse trigger-time solver.
+
+For the propagation of a *single* pulse wave through the HEX grid -- assuming
+constraints (C1) and (C2) of Section 3.1 hold, i.e. all correct nodes start
+with cleared memory flags, never forget a memorized message before firing, and
+do not sleep while the wave passes -- the firing time of a correct forwarding
+node ``v`` is fully determined by the firing times of its in-neighbours and the
+link delays:
+
+    ``t_v = min over the three guards {(left, lower-left), (lower-left,
+    lower-right), (lower-right, right)} of max(arrival_a, arrival_b)``
+
+where ``arrival_x = t_x + delay(x -> v)`` for a correct in-neighbour ``x``,
+``arrival_x = +inf`` for a silent (constant-0 / fail-silent / crashed) link and
+``arrival_x = byzantine_high_time`` (default 0, the start of the run) for a
+stuck-at-1 Byzantine link, which sets the receiver's memory flag as soon as the
+run starts.
+
+Because all link delays are strictly positive this fixed point can be computed
+with a Dijkstra-style sweep: firing times are finalized in non-decreasing
+order, and every candidate generated from a finalized neighbour is at least
+that neighbour's firing time plus ``d-``.  This makes the solver exact and
+O(n log n); it is the engine used for the large single-pulse statistical sweeps
+(Tables 1-2, Figs. 8-16), while the discrete-event simulator in
+:mod:`repro.simulation` handles multi-pulse and stabilization experiments.
+The two engines are cross-validated against each other in the test suite.
+
+The solver is deliberately defensive about *who* may fire: layer-0 nodes fire
+exactly at the externally supplied times, faulty nodes never fire (their
+outgoing links behave according to the fault model instead), and nodes whose
+guard is never satisfied keep a firing time of ``+inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import GuardKind
+from repro.core.topology import Direction, HexGrid, NodeId, TRIGGER_GUARDS
+from repro.faults.models import FaultModel, LinkBehavior
+
+__all__ = ["LinkDelayProvider", "PulseSolution", "solve_single_pulse"]
+
+
+class LinkDelayProvider(Protocol):
+    """Anything that can report the delay of a directed link.
+
+    The delay models in :mod:`repro.simulation.links` implement this protocol;
+    a plain ``dict``-backed adapter or a constant-delay lambda wrapped in a
+    small class works just as well for analytic constructions.
+    """
+
+    def delay(self, source: NodeId, destination: NodeId) -> float:
+        """The end-to-end delay of the directed link ``source -> destination``."""
+        ...
+
+
+@dataclass
+class PulseSolution:
+    """The result of propagating a single pulse through the grid.
+
+    Attributes
+    ----------
+    grid:
+        The HEX grid the pulse propagated through.
+    trigger_times:
+        Array of shape ``(L + 1, W)``.  Entry ``[l, i]`` is the firing time of
+        node ``(l, i)``; ``+inf`` if the node never fired, ``nan`` if the node
+        is faulty (faulty nodes have no meaningful firing time).
+    guards:
+        Integer array of shape ``(L + 1, W)``; entry is the
+        :class:`~repro.core.algorithm.GuardKind` value of the guard that fired
+        the node, ``-1`` for layer-0 sources, never-fired and faulty nodes.
+    correct_mask:
+        Boolean array, ``True`` where the node is correct.
+    layer0_times:
+        The layer-0 firing times the solution was computed from (length ``W``;
+        faulty sources carry ``nan``).
+    """
+
+    grid: HexGrid
+    trigger_times: np.ndarray
+    guards: np.ndarray
+    correct_mask: np.ndarray
+    layer0_times: np.ndarray
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    def trigger_time(self, node: NodeId) -> float:
+        """Firing time of a single node."""
+        layer, column = self.grid.validate_node(node)
+        return float(self.trigger_times[layer, column])
+
+    def guard_kind(self, node: NodeId) -> Optional[GuardKind]:
+        """The guard that fired ``node`` (Definition 1), or ``None``."""
+        layer, column = self.grid.validate_node(node)
+        value = int(self.guards[layer, column])
+        return GuardKind(value) if value >= 0 else None
+
+    def causal_in_neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The in-neighbours on the causal links of ``node`` (Definition 1)."""
+        guard = self.guard_kind(node)
+        if guard is None:
+            return ()
+        return tuple(
+            self.grid.neighbor(node, direction) for direction in guard.causal_directions
+        )
+
+    def all_triggered(self, include_faulty: bool = False) -> bool:
+        """Whether every (correct) forwarding node fired."""
+        times = self.trigger_times[1:, :]
+        mask = self.correct_mask[1:, :]
+        if include_faulty:
+            return bool(np.all(np.isfinite(times)))
+        return bool(np.all(np.isfinite(times[mask])))
+
+    def finite_times(self) -> np.ndarray:
+        """Copy of the trigger-time matrix with non-finite entries masked as ``nan``."""
+        times = self.trigger_times.copy()
+        times[~np.isfinite(times)] = np.nan
+        return times
+
+
+def _arrival_matrix_shape(grid: HexGrid) -> Tuple[int, int, int]:
+    return (grid.layers + 1, grid.width, len(TRIGGER_GUARDS) + 1)
+
+
+def solve_single_pulse(
+    grid: HexGrid,
+    layer0_times: Sequence[float],
+    delays: LinkDelayProvider,
+    fault_model: Optional[FaultModel] = None,
+    byzantine_high_time: float = 0.0,
+) -> PulseSolution:
+    """Compute the firing time of every node for a single pulse wave.
+
+    Parameters
+    ----------
+    grid:
+        The HEX grid.
+    layer0_times:
+        Firing times of the ``W`` layer-0 clock sources (scenario-dependent;
+        see :mod:`repro.clocksource.scenarios`).  Faulty layer-0 nodes are
+        handled through the fault model; their entry here is ignored.
+    delays:
+        Link delay provider (see :class:`LinkDelayProvider`).  Only consulted
+        for links that behave correctly.
+    fault_model:
+        Faults to inject; ``None`` means fault-free.
+    byzantine_high_time:
+        The time at which a stuck-at-1 Byzantine link sets the receiver's
+        memory flag.  The paper's testbench drives such links high from the
+        start of the run, hence the default of 0.
+
+    Returns
+    -------
+    PulseSolution
+    """
+    layer0_times = np.asarray(layer0_times, dtype=float)
+    if layer0_times.shape != (grid.width,):
+        raise ValueError(
+            f"layer0_times must have shape ({grid.width},), got {layer0_times.shape}"
+        )
+    if fault_model is not None and fault_model.grid != grid:
+        raise ValueError("fault model belongs to a different grid")
+    faults = fault_model if fault_model is not None else FaultModel.fault_free(grid)
+
+    num_layers, width = grid.layers + 1, grid.width
+    trigger_times = np.full((num_layers, width), math.inf, dtype=float)
+    guards = np.full((num_layers, width), -1, dtype=np.int8)
+    correct_mask = faults.correctness_mask()
+
+    # arrivals[node] maps incoming Direction -> arrival time of the trigger
+    # message on that link (only for links whose message is already determined).
+    arrivals: Dict[NodeId, Dict[Direction, float]] = {
+        node: {} for node in grid.forwarding_nodes()
+    }
+
+    # Priority queue of firing candidates: (time, layer, column, guard_value).
+    heap: List[Tuple[float, int, int, int]] = []
+    finalized = np.zeros((num_layers, width), dtype=bool)
+
+    def push_candidates(node: NodeId) -> None:
+        """(Re-)evaluate all guards of ``node`` and push completed ones."""
+        node_arrivals = arrivals[node]
+        layer, column = node
+        for guard_value, (dir_a, dir_b) in enumerate(TRIGGER_GUARDS):
+            if dir_a in node_arrivals and dir_b in node_arrivals:
+                candidate = max(node_arrivals[dir_a], node_arrivals[dir_b])
+                heapq.heappush(heap, (candidate, layer, column, guard_value))
+
+    def deliver(source: NodeId, fire_time: float) -> None:
+        """Propagate the firing of ``source`` to its correct out-neighbours."""
+        for destination in grid.out_neighbors(source).values():
+            dest_layer, dest_column = destination
+            if dest_layer == 0 or not correct_mask[dest_layer, dest_column]:
+                continue
+            behavior = faults.link_behavior((source, destination), time=fire_time)
+            if behavior is not LinkBehavior.CORRECT:
+                # Constant links were already seeded below; silent links deliver
+                # nothing.
+                continue
+            direction = grid.direction_between(source, destination)
+            arrival = fire_time + delays.delay(source, destination)
+            node_arrivals = arrivals[destination]
+            if direction in node_arrivals:
+                # A link delivers (at most) one message per pulse under (C2).
+                continue
+            node_arrivals[direction] = arrival
+            push_candidates(destination)
+
+    # ------------------------------------------------------------------
+    # seed: Byzantine stuck-at-1 links set the receiver's flag immediately
+    # ------------------------------------------------------------------
+    for faulty_node in faults.faulty_nodes():
+        for destination in grid.out_neighbors(faulty_node).values():
+            dest_layer, dest_column = destination
+            if dest_layer == 0 or not correct_mask[dest_layer, dest_column]:
+                continue
+            if faults.link_behavior((faulty_node, destination)) is LinkBehavior.CONSTANT_ONE:
+                direction = grid.direction_between(faulty_node, destination)
+                arrivals[destination][direction] = byzantine_high_time
+    for (source, destination), behavior in (
+        (link, faults.link_behavior(link)) for link in faults.faulty_links()
+    ):
+        dest_layer, dest_column = destination
+        if dest_layer == 0 or not correct_mask[dest_layer, dest_column]:
+            continue
+        if behavior is LinkBehavior.CONSTANT_ONE:
+            direction = grid.direction_between(source, destination)
+            arrivals[destination][direction] = byzantine_high_time
+    for node in grid.forwarding_nodes():
+        if arrivals[node]:
+            push_candidates(node)
+
+    # ------------------------------------------------------------------
+    # seed: layer-0 clock sources
+    # ------------------------------------------------------------------
+    for column in range(width):
+        source = (0, column)
+        if not correct_mask[0, column]:
+            trigger_times[0, column] = math.nan
+            continue
+        fire_time = float(layer0_times[column])
+        trigger_times[0, column] = fire_time
+        finalized[0, column] = True
+        deliver(source, fire_time)
+
+    # Faulty forwarding nodes never fire; mark them now.
+    for layer, column in faults.faulty_nodes():
+        if layer > 0:
+            trigger_times[layer, column] = math.nan
+
+    # ------------------------------------------------------------------
+    # Dijkstra sweep
+    # ------------------------------------------------------------------
+    while heap:
+        candidate, layer, column, guard_value = heapq.heappop(heap)
+        if finalized[layer, column]:
+            continue
+        finalized[layer, column] = True
+        trigger_times[layer, column] = candidate
+        guards[layer, column] = guard_value
+        deliver((layer, column), candidate)
+
+    layer0_out = trigger_times[0, :].copy()
+    return PulseSolution(
+        grid=grid,
+        trigger_times=trigger_times,
+        guards=guards,
+        correct_mask=correct_mask,
+        layer0_times=layer0_out,
+    )

@@ -1,0 +1,250 @@
+"""Causal links and left zig-zag paths (Definitions 1 and 2).
+
+The skew analysis of Section 3.1 rests on backtracing *causal paths* through a
+given execution:
+
+* **Definition 1** classifies every firing as left-/centrally-/right-triggered
+  according to which guard of Algorithm 1 fired, and calls the two links of the
+  satisfied guard *causal*.
+* **Definition 2** constructs, for a destination node ``(l, i)`` and a column
+  of interest ``i'``, the *left zig-zag path* ``p^{i' -> (l,i)}_left`` composed
+  of rightward links ``((l', j-1), (l', j))`` and up-left links
+  ``((l'-1, j+1), (l', j))``: starting from ``(l, i)``, if the current origin is
+  left-triggered the rightward link is prepended, otherwise the up-left link is
+  (it is causal in that case).  The construction terminates when an up-left
+  link is added whose origin (a) lies in column ``i'`` while the path has more
+  up-left than rightward links (a *triangular* path) or (b) lies in layer 0
+  (a *non-triangular* path).
+
+This module implements the construction on a :class:`~repro.core.pulse_solver.
+PulseSolution` (or any execution that can report each node's guard), together
+with the simple structural facts of Lemma 1 and the triggering-time inequality
+of Lemma 2 -- all of which are exercised as executable properties in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.algorithm import GuardKind
+from repro.core.parameters import TimingConfig
+from repro.core.pulse_solver import PulseSolution
+from repro.core.topology import HexGrid, NodeId
+
+__all__ = ["ZigZagLink", "LeftZigZagPath", "build_left_zigzag_path", "lemma2_upper_bound"]
+
+
+@dataclass(frozen=True)
+class ZigZagLink:
+    """One link of a left zig-zag path.
+
+    ``kind`` is ``"rightward"`` for intra-layer links ``((l, j-1), (l, j))`` and
+    ``"up_left"`` for diagonal links ``((l-1, j+1), (l, j))``.
+    """
+
+    source: NodeId
+    destination: NodeId
+    kind: str
+
+
+@dataclass(frozen=True)
+class LeftZigZagPath:
+    """A left zig-zag path ``p^{i' -> (l, i)}_left`` (Definition 2).
+
+    Attributes
+    ----------
+    destination:
+        The node ``(l, i)`` the path leads to.
+    target_column:
+        The column of interest ``i'``.
+    links:
+        The links of the path in causal (origin-to-destination) order; the
+        first link starts at :attr:`origin`.
+    triangular:
+        ``True`` if the construction terminated by reaching column ``i'`` with
+        more up-left than rightward links (case (i) of Definition 2), ``False``
+        if it terminated in layer 0 (case (ii)).
+    """
+
+    destination: NodeId
+    target_column: int
+    links: Tuple[ZigZagLink, ...]
+    triangular: bool
+
+    @property
+    def origin(self) -> NodeId:
+        """The node the path starts at."""
+        if not self.links:
+            return self.destination
+        return self.links[0].source
+
+    @property
+    def length(self) -> int:
+        """Number of links."""
+        return len(self.links)
+
+    @property
+    def num_up_left(self) -> int:
+        """Number of up-left links."""
+        return sum(1 for link in self.links if link.kind == "up_left")
+
+    @property
+    def num_rightward(self) -> int:
+        """Number of rightward links."""
+        return sum(1 for link in self.links if link.kind == "rightward")
+
+    @property
+    def excess_up_left(self) -> int:
+        """``r`` = number of up-left links minus number of rightward links."""
+        return self.num_up_left - self.num_rightward
+
+    def nodes(self) -> List[NodeId]:
+        """All nodes on the path from origin to destination (inclusive)."""
+        if not self.links:
+            return [self.destination]
+        result = [self.links[0].source]
+        for link in self.links:
+            result.append(link.destination)
+        return result
+
+    def is_causal(self, solution: PulseSolution, timing: TimingConfig) -> bool:
+        """Check that every link is causal: destination fires >= d- after origin."""
+        for link in self.links:
+            t_src = solution.trigger_time(link.source)
+            t_dst = solution.trigger_time(link.destination)
+            if not (t_dst >= t_src + timing.d_min - 1e-9):
+                return False
+        return True
+
+    def prefix(self, num_links: int) -> "LeftZigZagPath":
+        """The path consisting of the *last* ``num_links`` links (same destination).
+
+        In the paper's terminology a "prefix" of a zig-zag path is an initial
+        segment of its construction, i.e. a suffix of the origin-to-destination
+        link sequence ending at the same destination node.
+        """
+        if not 0 <= num_links <= self.length:
+            raise ValueError(f"prefix length {num_links} out of range [0, {self.length}]")
+        links = self.links[self.length - num_links :]
+        sub = LeftZigZagPath(
+            destination=self.destination,
+            target_column=self.target_column,
+            links=links,
+            triangular=self.triangular,
+        )
+        return sub
+
+
+def build_left_zigzag_path(
+    solution: PulseSolution,
+    destination: NodeId,
+    target_column: int,
+    max_links: Optional[int] = None,
+) -> LeftZigZagPath:
+    """Construct the left zig-zag path ``p^{target_column -> destination}_left``.
+
+    The construction follows Definition 2 literally on the given execution:
+    starting at ``destination``, repeatedly prepend the rightward link if the
+    current origin is left-triggered, and otherwise the up-left link
+    (terminating per cases (i)/(ii)).
+
+    Parameters
+    ----------
+    solution:
+        An execution providing each node's guard classification.
+    destination:
+        The node ``(l, i)`` with ``l > 0``.
+    target_column:
+        The column of interest ``i'``.
+    max_links:
+        Safety cap (defaults to ``2 * (L + 1) * W``, far beyond any acyclic
+        causal path).
+
+    Raises
+    ------
+    ValueError
+        If the destination lies in layer 0 or has not been triggered, or if a
+        node on the path was not triggered (the construction is only defined on
+        executions in which the involved nodes fired).
+    """
+    grid: HexGrid = solution.grid
+    destination = grid.validate_node(destination)
+    if destination[0] == 0:
+        raise ValueError("the destination of a zig-zag path must lie in a layer > 0")
+    target_column = grid.wrap_column(target_column)
+    if max_links is None:
+        max_links = 2 * grid.num_nodes
+
+    links: List[ZigZagLink] = []
+    current = destination
+    up_left_count = 0
+    rightward_count = 0
+    triangular = False
+
+    while True:
+        layer, column = current
+        if layer == 0:
+            # Terminated in layer 0 by the previous iteration's bookkeeping.
+            break
+        guard = solution.guard_kind(current)
+        if guard is None:
+            raise ValueError(
+                f"node {current} was not triggered by a guard; "
+                "zig-zag paths are only defined for triggered forwarding nodes"
+            )
+        if guard is GuardKind.LEFT_TRIGGERED:
+            origin = (layer, grid.wrap_column(column - 1))
+            links.insert(
+                0, ZigZagLink(source=origin, destination=current, kind="rightward")
+            )
+            rightward_count += 1
+            current = origin
+        else:
+            # Centrally or right-triggered: the up-left link (from the
+            # lower-right neighbour) is causal.
+            origin = (layer - 1, grid.wrap_column(column + 1))
+            links.insert(0, ZigZagLink(source=origin, destination=current, kind="up_left"))
+            up_left_count += 1
+            current = origin
+            if (
+                grid.wrap_column(origin[1]) == target_column
+                and up_left_count > rightward_count
+            ):
+                triangular = True
+                break
+            if origin[0] == 0:
+                triangular = False
+                break
+        if len(links) > max_links:
+            raise RuntimeError("zig-zag construction exceeded the safety cap; execution is cyclic?")
+
+    return LeftZigZagPath(
+        destination=destination,
+        target_column=target_column,
+        links=tuple(links),
+        triangular=triangular,
+    )
+
+
+def lemma2_upper_bound(
+    path: LeftZigZagPath,
+    solution: PulseSolution,
+    timing: TimingConfig,
+) -> float:
+    """The Lemma 2 upper bound on the firing time of the path's target column node.
+
+    For a (prefix of a) triangular left zig-zag path starting at ``(l', i')``
+    and ending at ``(l, i)`` with ``r > 0`` more up-left than rightward links,
+    Lemma 2 states ``t_{l, i'} <= t_{l, i} + r d- + (l - l') eps``.
+
+    Returns that right-hand side (the caller compares it against the measured
+    ``t_{l, i'}``).
+    """
+    if path.excess_up_left <= 0:
+        raise ValueError("Lemma 2 applies only to paths with r > 0 excess up-left links")
+    end_layer = path.destination[0]
+    start_layer = path.origin[0]
+    t_end = solution.trigger_time(path.destination)
+    return t_end + path.excess_up_left * timing.d_min + (end_layer - start_layer) * timing.epsilon

@@ -1,0 +1,25 @@
+"""Physical embedding of the HEX grid (Section 5).
+
+The HEX topology is a cylinder, so embedding it on a planar die requires some
+care.  The paper discusses two options:
+
+* flattening the cylinder onto two interconnect layers (simple, but nodes from
+  opposite sides of the cylinder end up physically close while being far apart
+  in the grid);
+* a circular arrangement with *doubling layers* (Fig. 21) that keeps link
+  lengths nearly uniform and is easy to route on two layers.
+
+* :mod:`repro.embedding.planar` -- the flattened-cylinder embedding with wire
+  length and grid-vs-physical distance statistics.
+* :mod:`repro.embedding.doubling` -- the circular doubling-layer layout.
+"""
+
+from repro.embedding.planar import FlattenedEmbedding, planar_wire_length_stats
+from repro.embedding.doubling import DoublingLayout, build_doubling_layout
+
+__all__ = [
+    "FlattenedEmbedding",
+    "planar_wire_length_stats",
+    "DoublingLayout",
+    "build_doubling_layout",
+]

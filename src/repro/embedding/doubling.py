@@ -1,0 +1,167 @@
+"""Circular embedding with doubling layers (Fig. 21).
+
+The alternative topology sketched in Section 5 arranges the nodes of each layer
+on concentric rings around the clock sources in the centre.  Because the ring
+circumference grows with the radius, keeping the node pitch roughly constant
+requires *doubling layers* in which every node of the previous ring drives two
+nodes of the next; doubling layers become less frequent as the radius (and thus
+the number of nodes per ring) grows.
+
+The paper leaves the skew analysis of this variant to future work; what it uses
+the construction for is the embedding argument -- link lengths stay nearly
+uniform and the whole structure routes on two interconnect layers.  This module
+therefore provides the *geometric* model: ring radii, node positions, the
+HEX-like link structure between consecutive rings (including the modified links
+at doubling layers), and wire-length statistics comparable to those of the
+flattened embedding and the H-tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DoublingLayout", "build_doubling_layout"]
+
+#: A node of the circular layout: (ring index, position index on the ring).
+RingNodeId = Tuple[int, int]
+
+
+@dataclass
+class DoublingLayout:
+    """A circular HEX-like layout with doubling layers.
+
+    Attributes
+    ----------
+    ring_sizes:
+        Number of nodes on each ring (ring 0 = clock sources in the centre).
+    doubling_rings:
+        Indices of rings whose node count is double that of the previous ring.
+    positions:
+        Physical ``(x, y)`` coordinates of every node.
+    links:
+        Directed links ``(source, destination)`` from each ring to the next
+        (two out-links per node, as in HEX) plus the intra-ring links.
+    """
+
+    ring_sizes: List[int]
+    doubling_rings: List[int]
+    positions: Dict[RingNodeId, Tuple[float, float]] = field(default_factory=dict)
+    links: List[Tuple[RingNodeId, RingNodeId]] = field(default_factory=list)
+
+    @property
+    def num_rings(self) -> int:
+        """Number of rings (including the source ring)."""
+        return len(self.ring_sizes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+        return sum(self.ring_sizes)
+
+    def link_lengths(self) -> np.ndarray:
+        """Euclidean lengths of all links."""
+        lengths = []
+        for source, destination in self.links:
+            sx, sy = self.positions[source]
+            dx, dy = self.positions[destination]
+            lengths.append(math.hypot(dx - sx, dy - sy))
+        return np.asarray(lengths, dtype=float)
+
+    def wire_length_stats(self) -> Dict[str, float]:
+        """Max/avg/min link length and their ratio (delay-balance figure of merit)."""
+        lengths = self.link_lengths()
+        return {
+            "max_link_length": float(lengths.max()),
+            "avg_link_length": float(lengths.mean()),
+            "min_link_length": float(lengths.min()),
+            "length_ratio": float(lengths.max() / lengths.min()),
+        }
+
+
+def build_doubling_layout(
+    num_rings: int,
+    initial_ring_size: int = 4,
+    target_pitch: float = 1.0,
+    max_ring_size: Optional[int] = None,
+) -> DoublingLayout:
+    """Build a circular doubling-layer layout.
+
+    Parameters
+    ----------
+    num_rings:
+        Number of rings (>= 2).
+    initial_ring_size:
+        Number of clock sources on the innermost ring (>= 3).
+    target_pitch:
+        Desired arc distance between adjacent nodes of a ring; a ring is
+        doubled whenever its arc pitch would otherwise exceed twice the target.
+    max_ring_size:
+        Optional cap on the ring size (doubling stops once reached).
+
+    Returns
+    -------
+    DoublingLayout
+        Ring sizes, the rings at which doubling happened, node positions and
+        the link structure: every node of ring ``r`` has two out-links to ring
+        ``r + 1`` (its "upper-left"/"upper-right" counterparts; at doubling
+        rings these are its two copies), plus intra-ring left/right links.
+    """
+    if num_rings < 2:
+        raise ValueError("num_rings must be >= 2")
+    if initial_ring_size < 3:
+        raise ValueError("initial_ring_size must be >= 3")
+    if target_pitch <= 0:
+        raise ValueError("target_pitch must be positive")
+
+    ring_sizes = [initial_ring_size]
+    doubling_rings: List[int] = []
+    for ring in range(1, num_rings):
+        previous = ring_sizes[-1]
+        radius = ring * target_pitch + initial_ring_size * target_pitch / (2 * math.pi)
+        circumference = 2.0 * math.pi * radius
+        size = previous
+        if circumference / previous > 2.0 * target_pitch and (
+            max_ring_size is None or previous * 2 <= max_ring_size
+        ):
+            size = previous * 2
+            doubling_rings.append(ring)
+        ring_sizes.append(size)
+
+    layout = DoublingLayout(ring_sizes=ring_sizes, doubling_rings=doubling_rings)
+
+    # Node positions: ring r at radius proportional to r, nodes evenly spread.
+    base_radius = initial_ring_size * target_pitch / (2.0 * math.pi)
+    for ring, size in enumerate(ring_sizes):
+        radius = base_radius + ring * target_pitch
+        for index in range(size):
+            angle = 2.0 * math.pi * index / size
+            layout.positions[(ring, index)] = (
+                radius * math.cos(angle),
+                radius * math.sin(angle),
+            )
+
+    # Intra-ring links (left/right neighbours), for rings > 0 as in HEX.
+    for ring in range(1, num_rings):
+        size = ring_sizes[ring]
+        for index in range(size):
+            layout.links.append(((ring, index), (ring, (index + 1) % size)))
+            layout.links.append(((ring, index), (ring, (index - 1) % size)))
+
+    # Inter-ring links: each node of ring r drives two nodes of ring r + 1.
+    for ring in range(num_rings - 1):
+        size = ring_sizes[ring]
+        next_size = ring_sizes[ring + 1]
+        doubled = next_size == 2 * size
+        for index in range(size):
+            if doubled:
+                targets = (2 * index, (2 * index + 1) % next_size)
+            else:
+                targets = (index, (index + 1) % next_size)
+            for target in targets:
+                layout.links.append(((ring, index), (ring + 1, target)))
+
+    return layout

@@ -1,0 +1,145 @@
+"""Flattened-cylinder embedding of the HEX grid.
+
+"The presented topology can be embedded into a VLSI circuit using two
+interconnect layers: One simply squeezes the cylindric shape of the HEX grid
+flat."  The flattening places the front half of the cylinder (columns
+``0 .. W/2 - 1``) and the mirrored back half (columns ``W/2 .. W - 1``) on top
+of each other with a small vertical offset; links within each half stay short,
+the two fold columns connect the halves, and nodes from opposite halves become
+physically close although they are up to ``W/2`` grid hops apart -- the
+drawback the paper points out.
+
+:class:`FlattenedEmbedding` computes node coordinates and per-link wire
+lengths; :func:`planar_wire_length_stats` summarises them (max/avg length,
+ratio to the sink pitch) and reports the grid-distance of the physically
+closest node pairs from opposite halves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.topology import HexGrid, LinkId, NodeId
+
+__all__ = ["FlattenedEmbedding", "planar_wire_length_stats"]
+
+
+@dataclass
+class FlattenedEmbedding:
+    """Coordinates of a flattened (two-interconnect-layer) HEX cylinder.
+
+    Parameters
+    ----------
+    grid:
+        The HEX grid to embed.
+    pitch:
+        Horizontal distance between adjacent columns of the same half (the
+        "sink pitch"; 1.0 by default).
+    layer_pitch:
+        Vertical distance between adjacent layers.
+    fold_offset:
+        Lateral offset between the front and the back half (models the two
+        interconnect layers / a slight stagger; small compared to the pitch).
+    """
+
+    grid: HexGrid
+    pitch: float = 1.0
+    layer_pitch: float = 1.0
+    fold_offset: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.pitch <= 0 or self.layer_pitch <= 0:
+            raise ValueError("pitch and layer_pitch must be positive")
+        if self.fold_offset < 0:
+            raise ValueError("fold_offset must be non-negative")
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def is_back_half(self, column: int) -> bool:
+        """Whether a column lies on the folded-back half of the cylinder."""
+        return column >= self.grid.width // 2 + self.grid.width % 2
+
+    def position(self, node: NodeId) -> Tuple[float, float]:
+        """Physical ``(x, y)`` position of a node."""
+        layer, column = self.grid.validate_node(node)
+        width = self.grid.width
+        front_count = width // 2 + width % 2
+        if column < front_count:
+            x = column * self.pitch
+        else:
+            # Back half: mirrored so that column W-1 sits under column 0.
+            x = (width - 1 - column) * self.pitch + self.fold_offset
+        y = layer * self.layer_pitch
+        return (x, y)
+
+    def link_length(self, source: NodeId, destination: NodeId) -> float:
+        """Euclidean wire length of a directed link."""
+        sx, sy = self.position(source)
+        dx, dy = self.position(destination)
+        return math.hypot(dx - sx, dy - sy)
+
+    def all_link_lengths(self) -> Dict[LinkId, float]:
+        """Wire lengths of every directed link of the grid."""
+        return {link: self.link_length(*link) for link in self.grid.links()}
+
+    # ------------------------------------------------------------------
+    # the flattening drawback: physically close but logically distant nodes
+    # ------------------------------------------------------------------
+    def closest_cross_half_pairs(self, top_k: int = 5) -> List[Tuple[NodeId, NodeId, float, int]]:
+        """Physically closest node pairs from opposite halves of the cylinder.
+
+        Returns up to ``top_k`` tuples ``(front_node, back_node, physical
+        distance, grid hop distance)`` ordered by physical distance.  The grid
+        distance of these pairs is what makes the naive flattening problematic:
+        they are neighbours on the die but far apart in the HEX grid, so their
+        clock skew is only bounded by the much weaker diameter bound.
+        """
+        front = [node for node in self.grid.nodes() if not self.is_back_half(node[1])]
+        back = [node for node in self.grid.nodes() if self.is_back_half(node[1])]
+        pairs: List[Tuple[NodeId, NodeId, float, int]] = []
+        for front_node in front:
+            fx, fy = self.position(front_node)
+            for back_node in back:
+                if front_node[0] != back_node[0]:
+                    continue  # compare within the same layer only
+                bx, by = self.position(back_node)
+                distance = math.hypot(bx - fx, by - fy)
+                pairs.append(
+                    (
+                        front_node,
+                        back_node,
+                        distance,
+                        self.grid.hop_distance(front_node, back_node),
+                    )
+                )
+        pairs.sort(key=lambda item: item[2])
+        return pairs[:top_k]
+
+
+def planar_wire_length_stats(embedding: FlattenedEmbedding) -> Dict[str, float]:
+    """Summary statistics of the flattened embedding.
+
+    Returns
+    -------
+    dict
+        ``max_link_length``, ``avg_link_length``, ``min_link_length`` (in
+        multiples of the column pitch), ``length_ratio`` (max / min, the
+        figure of merit for delay balancing), and
+        ``closest_cross_half_grid_distance`` (grid hops of the physically
+        closest cross-half pair).
+    """
+    lengths = np.array(list(embedding.all_link_lengths().values()), dtype=float)
+    closest = embedding.closest_cross_half_pairs(top_k=1)
+    cross_distance = float(closest[0][3]) if closest else float("nan")
+    return {
+        "max_link_length": float(lengths.max()),
+        "avg_link_length": float(lengths.mean()),
+        "min_link_length": float(lengths.min()),
+        "length_ratio": float(lengths.max() / lengths.min()),
+        "closest_cross_half_grid_distance": cross_distance,
+    }

@@ -1,0 +1,108 @@
+"""Ablation: Byzantine vs fail-silent (crash-like) faults.
+
+Section 4.3 states that "concerning fail-silent nodes, all results are
+qualitatively similar, albeit with smaller skews", and Section 3.2 argues that
+crash failures are "more benign" than Byzantine ones: a silent node can only
+*withhold* triggers (forcing detours of at most one extra hop under
+Condition 1), whereas a Byzantine node can additionally *inject* early triggers
+through stuck-at-1 links, tearing its neighbours apart in both directions.
+
+This ablation quantifies that design-relevant claim: for the same fault count,
+placement distribution and scenario, it compares the pooled skew statistics of
+Byzantine runs against fail-silent runs (and against the fault-free baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.skew import SkewStatistics
+from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_label
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.single_pulse import run_scenario_set
+from repro.faults.models import FaultType
+
+__all__ = ["FaultTypeAblation", "run"]
+
+
+@dataclass
+class FaultTypeAblation:
+    """Skew statistics per fault type for a fixed fault count and scenario."""
+
+    config: ExperimentConfig
+    scenario: Scenario
+    num_faults: int
+    statistics: Dict[str, SkewStatistics]
+
+    def rows(self) -> List[List[object]]:
+        """One row per fault regime (none / fail-silent / Byzantine)."""
+        rows: List[List[object]] = []
+        for label in ("fault_free", "fail_silent", "byzantine"):
+            stats = self.statistics[label].as_row()
+            rows.append(
+                [
+                    label,
+                    stats["intra_avg"],
+                    stats["intra_q95"],
+                    stats["intra_max"],
+                    stats["inter_min"],
+                    stats["inter_max"],
+                ]
+            )
+        return rows
+
+    def byzantine_excess_over_fail_silent(self) -> float:
+        """How much further Byzantine faults push the maximum intra-layer skew."""
+        return self.statistics["byzantine"].intra_max - self.statistics["fail_silent"].intra_max
+
+    def render(self) -> str:
+        """Text rendering."""
+        headers = ["faults", "intra_avg", "intra_q95", "intra_max", "inter_min", "inter_max"]
+        return format_table(
+            headers,
+            self.rows(),
+            title=(
+                f"Fault-type ablation: {self.num_faults} faults, "
+                f"scenario {scenario_label(self.scenario)}"
+            ),
+        )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    scenario: str = "iii",
+    num_faults: int = 3,
+    runs: Optional[int] = None,
+    seed_salt: int = 2500,
+) -> FaultTypeAblation:
+    """Compare fault-free, fail-silent and Byzantine runs under one scenario."""
+    config = config if config is not None else ExperimentConfig()
+    scenario_value = parse_scenario(scenario)
+    statistics: Dict[str, SkewStatistics] = {}
+    statistics["fault_free"] = run_scenario_set(
+        config, scenario_value, num_faults=0, runs=runs, seed_salt=seed_salt
+    ).statistics()
+    statistics["fail_silent"] = run_scenario_set(
+        config,
+        scenario_value,
+        num_faults=num_faults,
+        fault_type=FaultType.FAIL_SILENT,
+        runs=runs,
+        seed_salt=seed_salt + 1,
+    ).statistics()
+    statistics["byzantine"] = run_scenario_set(
+        config,
+        scenario_value,
+        num_faults=num_faults,
+        fault_type=FaultType.BYZANTINE,
+        runs=runs,
+        seed_salt=seed_salt + 1,  # same placement stream as fail-silent
+    ).statistics()
+    return FaultTypeAblation(
+        config=config,
+        scenario=scenario_value,
+        num_faults=num_faults,
+        statistics=statistics,
+    )

@@ -1,0 +1,70 @@
+"""Extension experiment: HEX vs clock-tree scaling (the title claim).
+
+Not a table of the paper, but the quantitative version of the introduction's
+argument: as the number of clocked endpoints grows,
+
+* the clock tree's longest wire segment grows like ``sqrt(n)`` while HEX links
+  stay at unit length;
+* the tree's neighbour skew (physically adjacent sinks in different subtrees)
+  grows with the accumulated delay variation while HEX's neighbour-skew bound
+  grows only through the ``ceil(W eps / d+) eps`` term;
+* a single tree fault disconnects up to a quarter of the die (or all of it, at
+  the root) while HEX tolerates isolated faults outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.clocktree.comparison import ScalingComparison, compare_scaling
+from repro.core.parameters import TimingConfig
+from repro.experiments.report import format_table
+
+__all__ = ["ClockTreeComparisonResult", "run", "DEFAULT_TREE_LEVELS"]
+
+#: H-tree recursion depths of the default sweep (16 to 1024 sinks).
+DEFAULT_TREE_LEVELS = (2, 3, 4, 5)
+
+
+@dataclass
+class ClockTreeComparisonResult:
+    """The scaling-comparison rows."""
+
+    rows_data: List[ScalingComparison]
+
+    def rows(self) -> List[List[object]]:
+        """Row lists in a fixed column order."""
+        columns = (
+            "n", "hex_max_wire", "tree_max_wire", "hex_skew_bound",
+            "tree_max_neighbor_skew", "tree_depth",
+            "hex_faults_tolerated", "tree_worst_internal_fault_loss",
+        )
+        return [[row.as_row()[column] for column in columns] for row in self.rows_data]
+
+    def wire_length_growth(self) -> float:
+        """Ratio of the tree's longest segment between the largest and smallest size."""
+        first = self.rows_data[0].tree_max_wire_length
+        last = self.rows_data[-1].tree_max_wire_length
+        return last / first
+
+    def render(self) -> str:
+        """Text rendering."""
+        headers = [
+            "n", "hex max wire", "tree max wire", "hex skew bound",
+            "tree max nbr skew", "tree depth", "hex faults tol.", "tree fault loss",
+        ]
+        return format_table(headers, self.rows(), title="HEX vs clock tree scaling")
+
+
+def run(
+    tree_levels: Sequence[int] = DEFAULT_TREE_LEVELS,
+    timing: Optional[TimingConfig] = None,
+    runs_per_size: int = 5,
+    seed: int = 0,
+) -> ClockTreeComparisonResult:
+    """Regenerate the HEX-vs-clock-tree scaling comparison."""
+    rows = compare_scaling(
+        tree_levels=tree_levels, timing=timing, runs_per_size=runs_per_size, seed=seed
+    )
+    return ClockTreeComparisonResult(rows_data=rows)

@@ -1,0 +1,99 @@
+"""Canonical experiment configuration.
+
+All of Section 4 uses a grid with ``L = 50`` layers and ``W = 20`` columns,
+end-to-end delays uniform in ``[7.161, 8.197]`` ns (``epsilon = 1.036`` ns),
+drift ``theta = 1.05`` and 250 simulation runs per data point.  Running the
+full 250-run suites takes a while in pure Python, so the default configuration
+keeps the paper's grid and delays but uses a reduced run count; pass
+``ExperimentConfig.paper()`` (or ``--runs 250`` on the CLI) for the full thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.parameters import TimingConfig
+from repro.core.topology import HexGrid
+
+__all__ = ["ExperimentConfig", "DEFAULT_RUNS", "PAPER_RUNS"]
+
+#: Default number of runs per data point for the scaled-down harness.
+DEFAULT_RUNS = 25
+
+#: Number of runs per data point used in the paper.
+PAPER_RUNS = 250
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by all experiments.
+
+    Attributes
+    ----------
+    layers, width:
+        Grid dimensions ``L`` and ``W``.
+    timing:
+        Delay bounds and drift factor.
+    runs:
+        Number of simulation runs per data point.
+    num_pulses:
+        Number of pulses per run in the stabilization experiments.
+    seed:
+        Base seed; every run derives an independent child seed from it.
+    """
+
+    layers: int = 50
+    width: int = 20
+    timing: TimingConfig = field(default_factory=TimingConfig.paper_defaults)
+    runs: int = DEFAULT_RUNS
+    num_pulses: int = 10
+    seed: int = 2013  # SPAA'13
+
+    def __post_init__(self) -> None:
+        if self.layers < 1 or self.width < 3:
+            raise ValueError("need layers >= 1 and width >= 3")
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+        if self.num_pulses < 1:
+            raise ValueError("num_pulses must be >= 1")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls, seed: int = 2013) -> "ExperimentConfig":
+        """The full paper-scale configuration (50x20 grid, 250 runs)."""
+        return cls(runs=PAPER_RUNS, seed=seed)
+
+    @classmethod
+    def quick(cls, seed: int = 2013) -> "ExperimentConfig":
+        """A small configuration for tests and smoke runs (20x10 grid, 5 runs)."""
+        return cls(layers=20, width=10, runs=5, num_pulses=6, seed=seed)
+
+    def with_runs(self, runs: int) -> "ExperimentConfig":
+        """A copy with a different run count."""
+        return replace(self, runs=runs)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """A copy with a different base seed."""
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def make_grid(self) -> HexGrid:
+        """The HEX grid of this configuration."""
+        return HexGrid(layers=self.layers, width=self.width)
+
+    def spawn_rngs(self, count: int, salt: int = 0) -> list[np.random.Generator]:
+        """Independent child generators, one per run.
+
+        Uses :class:`numpy.random.SeedSequence` spawning so run sets are
+        reproducible and could be distributed across processes without
+        overlapping streams (guide idiom for embarrassingly parallel sweeps).
+        """
+        seed_sequence = np.random.SeedSequence(entropy=self.seed + salt)
+        return [np.random.default_rng(child) for child in seed_sequence.spawn(count)]

@@ -1,0 +1,140 @@
+"""Fig. 15: skew statistics vs the number of Byzantine faults, scenario (iii).
+
+For ``f in {0, ..., 5}`` Byzantine nodes the figure shows box plots (minimum,
+5 %-quantile, average, 95 %-quantile, maximum) of the intra- and inter-layer
+skews over 250 runs, twice: over all correct nodes (``h = 0``) and after
+additionally discarding the 1-hop outgoing neighbours of the faulty nodes
+(``h = 1``).  The observations to reproduce:
+
+* skews grow only moderately with ``f`` -- far slower than the worst-case
+  allowance of roughly ``5 f d+``;
+* with ``h = 1`` the fault effects essentially disappear (strong locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.skew import SkewStatistics
+from repro.clocksource.scenarios import Scenario, scenario_label
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.single_pulse import run_scenario_set
+from repro.faults.models import FaultType
+
+__all__ = ["FaultSweepResult", "run", "SCENARIO", "FAULT_COUNTS", "HOP_LEVELS"]
+
+#: Which scenario this figure uses.
+SCENARIO = Scenario.UNIFORM_DMAX
+
+#: The fault counts of the sweep (the paper's ``f in [6]``).
+FAULT_COUNTS: Tuple[int, ...] = (0, 1, 2, 3, 4, 5)
+
+#: Exclusion radii shown in the figure.
+HOP_LEVELS: Tuple[int, ...] = (0, 1)
+
+
+@dataclass
+class FaultSweepResult:
+    """Skew statistics per fault count and exclusion radius.
+
+    Shared by the Fig. 15 and Fig. 16 experiments.
+    """
+
+    config: ExperimentConfig
+    scenario: Scenario
+    fault_type: FaultType
+    statistics: Dict[Tuple[int, int], SkewStatistics]
+
+    def stats(self, num_faults: int, hops: int = 0) -> SkewStatistics:
+        """Statistics of one (f, h) cell."""
+        return self.statistics[(num_faults, hops)]
+
+    def rows(self, hops: int = 0) -> List[List[object]]:
+        """One row per fault count for a given exclusion radius."""
+        rows: List[List[object]] = []
+        for num_faults in FAULT_COUNTS:
+            key = (num_faults, hops)
+            if key not in self.statistics:
+                continue
+            row = self.statistics[key].as_row()
+            rows.append(
+                [
+                    num_faults,
+                    row["intra_avg"],
+                    row["intra_q95"],
+                    row["intra_max"],
+                    row["inter_min"],
+                    row["inter_avg"],
+                    row["inter_q95"],
+                    row["inter_max"],
+                ]
+            )
+        return rows
+
+    def max_skew_growth(self, hops: int = 0) -> float:
+        """Growth of the maximum intra-layer skew from f = 0 to the largest f."""
+        available = sorted({f for (f, h) in self.statistics if h == hops})
+        base = self.statistics[(available[0], hops)].intra_max
+        worst = max(self.statistics[(f, hops)].intra_max for f in available)
+        return worst - base
+
+    def render(self) -> str:
+        """Text rendering of both exclusion radii."""
+        headers = [
+            "f", "intra_avg", "intra_q95", "intra_max",
+            "inter_min", "inter_avg", "inter_q95", "inter_max",
+        ]
+        parts = []
+        for hops in HOP_LEVELS:
+            parts.append(
+                format_table(
+                    headers,
+                    self.rows(hops),
+                    title=(
+                        f"Scenario {scenario_label(self.scenario)}, "
+                        f"{self.fault_type.value} faults, h = {hops}"
+                    ),
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def _sweep(
+    config: ExperimentConfig,
+    scenario: Scenario,
+    fault_type: FaultType,
+    fault_counts: Sequence[int],
+    runs: Optional[int],
+    seed_salt: int,
+) -> FaultSweepResult:
+    statistics: Dict[Tuple[int, int], SkewStatistics] = {}
+    for index, num_faults in enumerate(fault_counts):
+        run_set = run_scenario_set(
+            config,
+            scenario,
+            num_faults=num_faults,
+            fault_type=fault_type,
+            runs=runs,
+            seed_salt=seed_salt + index,
+        )
+        for hops in HOP_LEVELS:
+            statistics[(num_faults, hops)] = run_set.statistics(hops=hops)
+    return FaultSweepResult(
+        config=config, scenario=scenario, fault_type=fault_type, statistics=statistics
+    )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[int] = None,
+    fault_counts: Sequence[int] = FAULT_COUNTS,
+    fault_type: FaultType = FaultType.BYZANTINE,
+    seed_salt: int = 1500,
+) -> FaultSweepResult:
+    """Regenerate the Fig. 15 sweep (scenario (iii), Byzantine faults)."""
+    config = config if config is not None else ExperimentConfig()
+    return _sweep(config, SCENARIO, fault_type, fault_counts, runs, seed_salt)

@@ -1,0 +1,37 @@
+"""Fig. 16: skew statistics vs the number of Byzantine faults, scenario (iv).
+
+Same sweep as Fig. 15 but with the ramped layer-0 scenario.  Additional
+observations to reproduce:
+
+* a single fault already causes close to the worst observed skew -- fault
+  effects do not accumulate with ``f``;
+* the maximal intra-layer skews typically exceed the inter-layer skews,
+  because the ramped wave propagates diagonally and a fault on the ramp can
+  tear two same-layer neighbours far apart (cf. Fig. 17).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.clocksource.scenarios import Scenario
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig15 import FAULT_COUNTS, FaultSweepResult, _sweep
+from repro.faults.models import FaultType
+
+__all__ = ["run", "SCENARIO"]
+
+#: Which scenario this figure uses.
+SCENARIO = Scenario.RAMP
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[int] = None,
+    fault_counts: Sequence[int] = FAULT_COUNTS,
+    fault_type: FaultType = FaultType.BYZANTINE,
+    seed_salt: int = 1600,
+) -> FaultSweepResult:
+    """Regenerate the Fig. 16 sweep (scenario (iv), Byzantine faults)."""
+    config = config if config is not None else ExperimentConfig()
+    return _sweep(config, SCENARIO, fault_type, fault_counts, runs, seed_salt)

@@ -1,0 +1,187 @@
+"""Shared machinery for the single-pulse experiments (Tables 1-2, Figs. 8-16).
+
+A *run set* (the paper's set ``R`` of executions) is a collection of
+independent single-pulse simulations sharing the same scenario, fault count and
+fault type, each with its own child RNG stream (delays, layer-0 offsets, fault
+placement and fault behaviour).  The analytic pulse solver is used as the
+execution engine -- it implements exactly the paper's single-pulse semantics
+(constant-0/constant-1 fault behaviour, cleared initial state) and is fast
+enough for the full 250-run suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.locality import inclusion_mask
+from repro.analysis.skew import SkewStatistics
+from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_layer0_times
+from repro.core.pulse_solver import solve_single_pulse
+from repro.core.topology import HexGrid, NodeId
+from repro.experiments.config import ExperimentConfig
+from repro.faults.models import FaultModel, FaultType, NodeFault
+from repro.faults.placement import place_faults
+from repro.simulation.links import UniformRandomDelays
+
+__all__ = ["RunSetResult", "run_scenario_set", "scenario_statistics"]
+
+
+@dataclass
+class RunSetResult:
+    """The raw outcome of a set of single-pulse runs.
+
+    Attributes
+    ----------
+    config:
+        The experiment configuration used.
+    scenario:
+        The layer-0 scenario.
+    num_faults, fault_type:
+        Fault injection parameters (``fault_type`` is ``None`` when fault-free).
+    trigger_times:
+        One ``(L + 1, W)`` matrix per run.
+    fault_models:
+        One fault model per run (``None`` entries when fault-free).
+    layer0_times:
+        The layer-0 firing times of each run.
+    """
+
+    config: ExperimentConfig
+    scenario: Scenario
+    num_faults: int
+    fault_type: Optional[FaultType]
+    trigger_times: List[np.ndarray] = field(default_factory=list)
+    fault_models: List[Optional[FaultModel]] = field(default_factory=list)
+    layer0_times: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of runs in the set."""
+        return len(self.trigger_times)
+
+    def masks(self, hops: int = 0) -> List[Optional[np.ndarray]]:
+        """Inclusion masks per run for a given fault-exclusion radius ``hops``."""
+        grid = self.config.make_grid()
+        result: List[Optional[np.ndarray]] = []
+        for fault_model in self.fault_models:
+            if fault_model is None:
+                result.append(None)
+            else:
+                result.append(inclusion_mask(grid, fault_model, hops=hops))
+        return result
+
+    def statistics(self, hops: int = 0) -> SkewStatistics:
+        """Pooled skew statistics of the run set (Table 1 / Table 2 row)."""
+        return SkewStatistics.from_runs(self.trigger_times, self.masks(hops))
+
+
+def _build_fault_model(
+    grid: HexGrid,
+    num_faults: int,
+    fault_type: Optional[FaultType],
+    rng: np.random.Generator,
+    fixed_positions: Optional[Sequence[NodeId]] = None,
+) -> Optional[FaultModel]:
+    """Place and parameterise the faults of one run."""
+    if num_faults == 0 or fault_type is None:
+        return None
+    if fixed_positions is not None:
+        if len(fixed_positions) != num_faults:
+            raise ValueError(
+                f"expected {num_faults} fixed fault positions, got {len(fixed_positions)}"
+            )
+        positions = [grid.validate_node(node) for node in fixed_positions]
+    else:
+        positions = place_faults(grid, num_faults, rng)
+    faults = []
+    for node in positions:
+        if fault_type is FaultType.BYZANTINE:
+            faults.append(NodeFault.byzantine(grid, node, rng=rng))
+        elif fault_type is FaultType.FAIL_SILENT:
+            faults.append(NodeFault.fail_silent(grid, node))
+        else:
+            raise ValueError(f"unsupported fault type for single-pulse runs: {fault_type}")
+    return FaultModel(grid, faults)
+
+
+def run_scenario_set(
+    config: ExperimentConfig,
+    scenario: Union[Scenario, str],
+    num_faults: int = 0,
+    fault_type: Optional[FaultType] = FaultType.BYZANTINE,
+    runs: Optional[int] = None,
+    seed_salt: int = 0,
+    fixed_fault_positions: Optional[Sequence[NodeId]] = None,
+) -> RunSetResult:
+    """Execute a set of independent single-pulse runs.
+
+    Parameters
+    ----------
+    config:
+        Grid, timing and run-count parameters.
+    scenario:
+        The layer-0 scenario (``"(i)"`` ... ``"(iv)"`` or a :class:`Scenario`).
+    num_faults:
+        Number of faulty nodes per run (placed uniformly at random under
+        Condition 1, freshly per run).
+    fault_type:
+        :class:`FaultType.BYZANTINE` (per-link random constant-0/1 behaviour)
+        or :class:`FaultType.FAIL_SILENT`; ignored when ``num_faults == 0``.
+    runs:
+        Override of ``config.runs``.
+    seed_salt:
+        Extra salt mixed into the seed so different experiments using the same
+        configuration get independent streams.
+    fixed_fault_positions:
+        Deterministic fault positions (e.g. Fig. 13's node ``(1, 19)``);
+        behaviour is still drawn per run for Byzantine faults.
+    """
+    scenario_value = parse_scenario(scenario)
+    grid = config.make_grid()
+    num_runs = runs if runs is not None else config.runs
+    rngs = config.spawn_rngs(num_runs, salt=seed_salt)
+
+    result = RunSetResult(
+        config=config,
+        scenario=scenario_value,
+        num_faults=num_faults,
+        fault_type=fault_type if num_faults > 0 else None,
+    )
+    fault_free_count = 0
+    for rng in rngs:
+        layer0 = scenario_layer0_times(scenario_value, grid.width, config.timing, rng=rng)
+        fault_model = _build_fault_model(
+            grid, num_faults, fault_type, rng, fixed_positions=fixed_fault_positions
+        )
+        delays = UniformRandomDelays(config.timing, rng)
+        solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+        if solution.all_triggered():
+            fault_free_count += 1
+        result.trigger_times.append(solution.trigger_times)
+        result.fault_models.append(fault_model)
+        result.layer0_times.append(layer0)
+    return result
+
+
+def scenario_statistics(
+    config: ExperimentConfig,
+    scenario: Union[Scenario, str],
+    num_faults: int = 0,
+    fault_type: Optional[FaultType] = FaultType.BYZANTINE,
+    hops: int = 0,
+    runs: Optional[int] = None,
+    seed_salt: int = 0,
+) -> SkewStatistics:
+    """Convenience wrapper: run a scenario set and return its pooled statistics."""
+    run_set = run_scenario_set(
+        config,
+        scenario,
+        num_faults=num_faults,
+        fault_type=fault_type,
+        runs=runs,
+        seed_salt=seed_salt,
+    )
+    return run_set.statistics(hops=hops)

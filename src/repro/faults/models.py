@@ -1,0 +1,326 @@
+"""Fault models for HEX nodes and links.
+
+The paper's simulation framework (Section 4.1) injects faults at the level of
+individual *links*:
+
+    "links can be declared correct, Byzantine (choose output constant 0 resp. 1
+    corresponding to no resp. fast triggering), or fail-silent (output constant
+    0); declaring a node Byzantine or fail-silent is equivalent to doing so for
+    each of its outgoing links."
+
+We mirror this exactly:
+
+* :class:`LinkBehavior` captures what a single directed link does:
+  ``CORRECT`` (delivers trigger messages with a delay in ``[d-, d+]``),
+  ``CONSTANT_ZERO`` (never delivers anything -- a stuck-at-0 output or broken
+  wire), or ``CONSTANT_ONE`` (the output is stuck high, so the receiving node's
+  memory flag for this link is set as soon as -- and whenever -- it is able to
+  memorize, i.e. "fast triggering").
+
+* :class:`NodeFault` groups per-link behaviours for one faulty node.
+  Convenience constructors create fail-silent nodes (all outgoing links
+  ``CONSTANT_ZERO``), fully random Byzantine nodes (each outgoing link
+  independently ``CONSTANT_ZERO`` or ``CONSTANT_ONE`` as in the paper's runs),
+  and crash faults (correct until a crash time, silent afterwards).
+
+* :class:`FaultModel` is the container consulted by both execution engines
+  (the discrete-event simulator and the analytic pulse solver) and by the
+  analysis code (which must exclude faulty nodes from skew statistics).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.topology import HexGrid, LinkId, NodeId
+
+__all__ = ["FaultType", "LinkBehavior", "NodeFault", "FaultModel"]
+
+
+class FaultType(enum.Enum):
+    """High-level classification of a faulty node."""
+
+    #: Arbitrary behaviour; modelled per outgoing link as constant-0/constant-1
+    #: (the paper's testbench), optionally refined by an adversary strategy in
+    #: the discrete-event simulator.
+    BYZANTINE = "byzantine"
+    #: The node never sends anything (all outgoing links constant-0).
+    FAIL_SILENT = "fail_silent"
+    #: The node behaves correctly until ``crash_time`` and is silent afterwards.
+    CRASH = "crash"
+
+
+class LinkBehavior(enum.Enum):
+    """Behaviour of a single directed link."""
+
+    #: The link delivers trigger messages of its (correct) source faithfully.
+    CORRECT = "correct"
+    #: Output stuck at 0: no trigger message is ever delivered on this link.
+    CONSTANT_ZERO = "constant_zero"
+    #: Output stuck at 1: the receiver perceives a trigger message on this link
+    #: whenever its memory flag for the link is clear ("fast triggering").
+    CONSTANT_ONE = "constant_one"
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """The fault affecting one node.
+
+    Attributes
+    ----------
+    node:
+        The faulty node.
+    fault_type:
+        Byzantine, fail-silent or crash.
+    link_behaviors:
+        Mapping from destination node to the behaviour of the outgoing link
+        ``(node, destination)``.  For crash faults this describes the behaviour
+        *after* the crash (before the crash the node behaves correctly).
+    crash_time:
+        Time of the crash for :attr:`FaultType.CRASH`; ``inf`` otherwise.
+    """
+
+    node: NodeId
+    fault_type: FaultType
+    link_behaviors: Mapping[NodeId, LinkBehavior] = field(default_factory=dict)
+    crash_time: float = math.inf
+
+    def behavior_towards(self, destination: NodeId) -> LinkBehavior:
+        """The behaviour of the outgoing link towards ``destination``.
+
+        Unlisted destinations default to ``CONSTANT_ZERO`` (silence), which is
+        the conservative interpretation for a faulty sender.
+        """
+        return self.link_behaviors.get(destination, LinkBehavior.CONSTANT_ZERO)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fail_silent(grid: HexGrid, node: NodeId) -> "NodeFault":
+        """A fail-silent node: all outgoing links constant-0."""
+        node = grid.validate_node(node)
+        behaviors = {
+            dest: LinkBehavior.CONSTANT_ZERO for dest in grid.out_neighbors(node).values()
+        }
+        return NodeFault(node=node, fault_type=FaultType.FAIL_SILENT, link_behaviors=behaviors)
+
+    @staticmethod
+    def byzantine(
+        grid: HexGrid,
+        node: NodeId,
+        behaviors: Optional[Mapping[NodeId, LinkBehavior]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "NodeFault":
+        """A Byzantine node with per-outgoing-link constant-0/constant-1 behaviour.
+
+        If ``behaviors`` is omitted, each outgoing link independently becomes
+        ``CONSTANT_ZERO`` or ``CONSTANT_ONE`` with probability 1/2, matching the
+        paper's randomized fault behaviour ("each Byzantine node randomly
+        selects its behavior on each outgoing link as either constant 0 ... or
+        constant 1").  In that case an ``rng`` must be supplied.
+        """
+        node = grid.validate_node(node)
+        destinations = list(grid.out_neighbors(node).values())
+        if behaviors is None:
+            if rng is None:
+                raise ValueError("either explicit behaviors or an rng must be supplied")
+            choices = rng.integers(0, 2, size=len(destinations))
+            behaviors = {
+                dest: (LinkBehavior.CONSTANT_ONE if pick else LinkBehavior.CONSTANT_ZERO)
+                for dest, pick in zip(destinations, choices)
+            }
+        else:
+            unknown = set(behaviors) - set(destinations)
+            if unknown:
+                raise ValueError(
+                    f"behaviors specified for non-out-neighbours of {node}: {sorted(unknown)}"
+                )
+            behaviors = dict(behaviors)
+            for dest in destinations:
+                behaviors.setdefault(dest, LinkBehavior.CONSTANT_ZERO)
+        return NodeFault(node=node, fault_type=FaultType.BYZANTINE, link_behaviors=behaviors)
+
+    @staticmethod
+    def crash(grid: HexGrid, node: NodeId, crash_time: float) -> "NodeFault":
+        """A crash fault: correct until ``crash_time``, silent afterwards."""
+        if crash_time < 0:
+            raise ValueError(f"crash time must be non-negative, got {crash_time}")
+        node = grid.validate_node(node)
+        behaviors = {
+            dest: LinkBehavior.CONSTANT_ZERO for dest in grid.out_neighbors(node).values()
+        }
+        return NodeFault(
+            node=node,
+            fault_type=FaultType.CRASH,
+            link_behaviors=behaviors,
+            crash_time=crash_time,
+        )
+
+
+class FaultModel:
+    """The set of faults injected into one simulation run.
+
+    A :class:`FaultModel` combines faulty *nodes* (each with per-outgoing-link
+    behaviour) and individually faulty *links* whose source node is otherwise
+    correct (broken wires).  It is consulted by the simulation engines to decide
+    what each link delivers, and by the analysis code to exclude faulty nodes
+    from the skew statistics.
+
+    Parameters
+    ----------
+    grid:
+        The HEX grid the faults live in.
+    node_faults:
+        Faulty nodes.
+    link_faults:
+        Mapping from directed link to its (non-correct) behaviour, for links
+        whose source node is correct.
+    """
+
+    def __init__(
+        self,
+        grid: HexGrid,
+        node_faults: Iterable[NodeFault] = (),
+        link_faults: Optional[Mapping[LinkId, LinkBehavior]] = None,
+    ) -> None:
+        self._grid = grid
+        self._node_faults: Dict[NodeId, NodeFault] = {}
+        for fault in node_faults:
+            self.add_node_fault(fault)
+        self._link_faults: Dict[LinkId, LinkBehavior] = {}
+        if link_faults:
+            for link, behavior in link_faults.items():
+                self.add_link_fault(link, behavior)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def fault_free(cls, grid: HexGrid) -> "FaultModel":
+        """A fault model with no faults at all."""
+        return cls(grid)
+
+    def add_node_fault(self, fault: NodeFault) -> None:
+        """Register a faulty node (replacing any previous fault on that node)."""
+        node = self._grid.validate_node(fault.node)
+        self._node_faults[node] = fault
+
+    def add_link_fault(self, link: LinkId, behavior: LinkBehavior) -> None:
+        """Register an individually faulty link (source node otherwise correct)."""
+        source, destination = link
+        source = self._grid.validate_node(source)
+        destination = self._grid.validate_node(destination)
+        if destination not in self._grid.out_neighbors(source).values():
+            raise ValueError(f"{(source, destination)} is not a link of {self._grid!r}")
+        if behavior is LinkBehavior.CORRECT:
+            self._link_faults.pop((source, destination), None)
+        else:
+            self._link_faults[(source, destination)] = behavior
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> HexGrid:
+        """The grid this fault model refers to."""
+        return self._grid
+
+    @property
+    def num_faulty_nodes(self) -> int:
+        """Number of faulty nodes ``f``."""
+        return len(self._node_faults)
+
+    def faulty_nodes(self) -> List[NodeId]:
+        """The faulty nodes, sorted by (layer, column)."""
+        return sorted(self._node_faults)
+
+    def faulty_links(self) -> List[LinkId]:
+        """The individually faulty links (excluding links of faulty nodes)."""
+        return sorted(self._link_faults)
+
+    def node_fault(self, node: NodeId) -> Optional[NodeFault]:
+        """The fault affecting ``node``, or ``None`` if the node is correct."""
+        return self._node_faults.get(self._grid.validate_node(node))
+
+    def is_faulty(self, node: NodeId) -> bool:
+        """Whether ``node`` is faulty (Byzantine, fail-silent or crash)."""
+        return self._grid.validate_node(node) in self._node_faults
+
+    def is_correct(self, node: NodeId) -> bool:
+        """Whether ``node`` is correct."""
+        return not self.is_faulty(node)
+
+    def correct_nodes(self) -> List[NodeId]:
+        """All correct nodes of the grid."""
+        return [node for node in self._grid.nodes() if node not in self._node_faults]
+
+    def faulty_layers(self) -> List[int]:
+        """The sorted list of layers containing at least one faulty node.
+
+        Used by the Lemma 5 bound, which charges one ``d+`` per layer containing
+        a fault.
+        """
+        return sorted({layer for (layer, _column) in self._node_faults})
+
+    def num_faulty_layers_up_to(self, layer: int) -> int:
+        """Number of layers ``<= layer`` containing at least one faulty node (``f_l``)."""
+        return sum(1 for fault_layer in self.faulty_layers() if fault_layer <= layer)
+
+    def link_behavior(self, link: LinkId, time: float = math.inf) -> LinkBehavior:
+        """The effective behaviour of a directed link at a given time.
+
+        For crash faults the behaviour is ``CORRECT`` before the crash time and
+        the registered post-crash behaviour afterwards.  ``time`` defaults to
+        ``inf`` so that, without an explicit time, the *eventual* behaviour is
+        reported (which is what the single-pulse analytic solver needs when the
+        crash happened before the pulse).
+        """
+        source, destination = link
+        source = self._grid.validate_node(source)
+        destination = self._grid.validate_node(destination)
+        fault = self._node_faults.get(source)
+        if fault is not None:
+            if fault.fault_type is FaultType.CRASH and time < fault.crash_time:
+                return LinkBehavior.CORRECT
+            return fault.behavior_towards(destination)
+        return self._link_faults.get((source, destination), LinkBehavior.CORRECT)
+
+    def correctness_mask(self) -> np.ndarray:
+        """Boolean array of shape ``(L + 1, W)``: ``True`` where the node is correct.
+
+        This is the mask the analysis code applies before computing skew
+        statistics ("the triggering times of faulty nodes are of course not
+        considered when computing the inter- and intra-layer skews").
+        """
+        mask = np.ones(self._grid.shape, dtype=bool)
+        for layer, column in self._node_faults:
+            mask[layer, column] = False
+        return mask
+
+    def describe(self) -> List[str]:
+        """Human-readable one-line descriptions of all faults (for reports)."""
+        lines: List[str] = []
+        for node in self.faulty_nodes():
+            fault = self._node_faults[node]
+            if fault.fault_type is FaultType.CRASH:
+                lines.append(f"{node}: crash at t={fault.crash_time:g}")
+            else:
+                behaviors = ", ".join(
+                    f"->{dest}:{behavior.value}" for dest, behavior in sorted(fault.link_behaviors.items())
+                )
+                lines.append(f"{node}: {fault.fault_type.value} ({behaviors})")
+        for link in self.faulty_links():
+            lines.append(f"link {link[0]}->{link[1]}: {self._link_faults[link].value}")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"FaultModel(nodes={len(self._node_faults)}, links={len(self._link_faults)}, "
+            f"grid={self._grid!r})"
+        )

@@ -1,0 +1,180 @@
+"""Frequency multiplication: fast clocks derived from HEX pulses.
+
+Following Section 5 (and the companion DEPEND'13 paper the authors cite), each
+node restarts its local oscillator on every HEX pulse and lets it produce a
+fixed number ``m`` of fast ticks inside a window ``Delta_min`` that must be
+shorter than the minimum pulse-separation time observed at the node.  The
+fast-clock skew between two neighbouring nodes for the ``j``-th tick after
+pulse ``k`` is then
+
+    ``|t^{(k)}_{v} - t^{(k)}_{w}|  +  j * |P_v - P_w|
+      <=  sigma_HEX + (theta - 1) * Delta_min``
+
+i.e. the HEX pulse skew plus a drift term proportional to the window length --
+the trade-off that prevents making ``Delta_min`` (and hence the number of fast
+ticks per pulse) arbitrarily large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.topology import HexGrid, NodeId
+from repro.multiplication.oscillator import StartStopOscillator
+
+__all__ = [
+    "MultiplierConfig",
+    "FrequencyMultiplier",
+    "fast_clock_skew_bound",
+    "measure_fast_clock_skew",
+]
+
+
+@dataclass(frozen=True)
+class MultiplierConfig:
+    """Configuration of the frequency multiplication scheme.
+
+    Attributes
+    ----------
+    multiplication_factor:
+        Number of fast ticks ``m`` generated per HEX pulse.
+    nominal_period:
+        Nominal fast-clock period ``P``.
+    theta:
+        Oscillator drift bound.
+    window:
+        The tick window ``Delta_min``; must accommodate ``m`` ticks even for the
+        slowest oscillator, i.e. ``window >= m * P * theta``.
+    """
+
+    multiplication_factor: int
+    nominal_period: float
+    theta: float = 1.05
+    window: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.multiplication_factor < 1:
+            raise ValueError("multiplication_factor must be >= 1")
+        if self.nominal_period <= 0:
+            raise ValueError("nominal_period must be positive")
+        if self.theta < 1.0:
+            raise ValueError("theta must be >= 1")
+        if self.window is not None and self.window < self.min_window:
+            raise ValueError(
+                f"window {self.window} too short for {self.multiplication_factor} ticks "
+                f"of the slowest oscillator (needs >= {self.min_window})"
+            )
+
+    @property
+    def min_window(self) -> float:
+        """The smallest window that fits ``m`` ticks of the slowest oscillator."""
+        return self.multiplication_factor * self.nominal_period * self.theta
+
+    @property
+    def effective_window(self) -> float:
+        """The window used by the scheme (explicit value or the minimum)."""
+        return self.window if self.window is not None else self.min_window
+
+
+def fast_clock_skew_bound(hex_skew: float, config: MultiplierConfig) -> float:
+    """Worst-case fast-clock skew between neighbours.
+
+    ``sigma_fast <= sigma_HEX + (theta - 1) * window`` (Section 5).
+    """
+    if hex_skew < 0:
+        raise ValueError("hex_skew must be non-negative")
+    return hex_skew + (config.theta - 1.0) * config.effective_window
+
+
+class FrequencyMultiplier:
+    """Per-node oscillators generating fast ticks from HEX pulses.
+
+    Parameters
+    ----------
+    grid:
+        The HEX grid (defines which nodes get an oscillator).
+    config:
+        Multiplication parameters.
+    rng, seed:
+        Randomness for the per-node oscillator drifts.
+    """
+
+    def __init__(
+        self,
+        grid: HexGrid,
+        config: MultiplierConfig,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config
+        generator = rng if rng is not None else np.random.default_rng(seed)
+        self.oscillators: Dict[NodeId, StartStopOscillator] = {
+            node: StartStopOscillator.with_random_drift(
+                config.nominal_period, config.theta, rng=generator
+            )
+            for node in grid.nodes()
+        }
+
+    def fast_ticks(self, node: NodeId, pulse_time: float) -> np.ndarray:
+        """The ``m`` fast tick times of ``node`` for a HEX pulse at ``pulse_time``."""
+        node = self.grid.validate_node(node)
+        oscillator = self.oscillators[node]
+        return oscillator.ticks(pulse_time, self.config.multiplication_factor)
+
+    def fast_ticks_from_matrix(self, trigger_times: np.ndarray) -> np.ndarray:
+        """Fast tick times of every node from a trigger-time matrix.
+
+        Returns an array of shape ``(L + 1, W, m)``; rows of faulty/untriggered
+        nodes are ``nan``.
+        """
+        trigger_times = np.asarray(trigger_times, dtype=float)
+        if trigger_times.shape != self.grid.shape:
+            raise ValueError(
+                f"trigger_times shape {trigger_times.shape} does not match grid {self.grid.shape}"
+            )
+        result = np.full(
+            (self.grid.layers + 1, self.grid.width, self.config.multiplication_factor),
+            np.nan,
+            dtype=float,
+        )
+        for layer, column in self.grid.nodes():
+            pulse_time = trigger_times[layer, column]
+            if np.isfinite(pulse_time):
+                result[layer, column, :] = self.fast_ticks((layer, column), pulse_time)
+        return result
+
+
+def measure_fast_clock_skew(
+    grid: HexGrid,
+    trigger_times: np.ndarray,
+    multiplier: FrequencyMultiplier,
+    correct_mask: Optional[np.ndarray] = None,
+) -> Tuple[float, float]:
+    """Maximum and average fast-clock skew between grid neighbours.
+
+    For every pair of neighbouring nodes (intra-layer and inter-layer) and
+    every tick index ``j``, the skew of the ``j``-th fast ticks is computed;
+    the maximum and mean over all pairs and ticks are returned.
+    """
+    ticks = multiplier.fast_ticks_from_matrix(trigger_times)
+    if correct_mask is not None:
+        ticks[~correct_mask, :] = np.nan
+
+    diffs: List[np.ndarray] = []
+    # Intra-layer neighbours.
+    diffs.append(np.abs(ticks - np.roll(ticks, -1, axis=1)))
+    # Inter-layer neighbours (lower-left and lower-right).
+    lower_left = np.abs(ticks[1:, :, :] - ticks[:-1, :, :])
+    lower_right = np.abs(ticks[1:, :, :] - np.roll(ticks[:-1, :, :], -1, axis=1))
+    diffs.append(lower_left)
+    diffs.append(lower_right)
+
+    pooled = np.concatenate([d.ravel() for d in diffs])
+    pooled = pooled[np.isfinite(pooled)]
+    if pooled.size == 0:
+        return (float("nan"), float("nan"))
+    return (float(pooled.max()), float(pooled.mean()))

@@ -1,0 +1,78 @@
+"""Start/stoppable local oscillators.
+
+Each HEX node owns an oscillator that can be (re)started by a HEX pulse and
+stopped before the next pulse is due; its period is only accurate up to the
+drift factor ``theta`` (the same bound used for the algorithm's timers).  The
+designs the paper builds on (start/stoppable ring oscillators from the FATAL
+project) guarantee metastability-free restart because the oscillator is
+quiescent when the restart edge arrives -- which is exactly why the tick window
+must be shorter than the minimum pulse separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["StartStopOscillator"]
+
+
+@dataclass
+class StartStopOscillator:
+    """A start/stoppable oscillator with bounded drift.
+
+    Attributes
+    ----------
+    nominal_period:
+        The nominal fast-clock period ``P``.
+    drift:
+        The oscillator's actual period is ``P * drift`` with
+        ``drift in [1, theta]``; the value is fixed per oscillator instance
+        (slowly varying physical parameter), not per tick.
+    """
+
+    nominal_period: float
+    drift: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nominal_period <= 0:
+            raise ValueError("nominal_period must be positive")
+        if self.drift < 1.0:
+            raise ValueError("drift must be >= 1 (periods only stretch)")
+
+    @classmethod
+    def with_random_drift(
+        cls,
+        nominal_period: float,
+        theta: float,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> "StartStopOscillator":
+        """An oscillator whose drift is drawn uniformly from ``[1, theta]``."""
+        if theta < 1.0:
+            raise ValueError("theta must be >= 1")
+        generator = rng if rng is not None else np.random.default_rng(seed)
+        return cls(nominal_period=nominal_period, drift=float(generator.uniform(1.0, theta)))
+
+    @property
+    def period(self) -> float:
+        """The actual (drifted) period."""
+        return self.nominal_period * self.drift
+
+    def ticks(self, start_time: float, num_ticks: int) -> np.ndarray:
+        """The first ``num_ticks`` tick times after a restart at ``start_time``.
+
+        The first tick occurs one period after the restart edge.
+        """
+        if num_ticks < 0:
+            raise ValueError("num_ticks must be non-negative")
+        return start_time + self.period * np.arange(1, num_ticks + 1, dtype=float)
+
+    def ticks_within(self, start_time: float, window: float) -> np.ndarray:
+        """All tick times within ``(start_time, start_time + window]``."""
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        count = int(np.floor(window / self.period))
+        return self.ticks(start_time, count)

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate (replaces the paper's ModelSim/VHDL testbed).
+
+* :mod:`repro.simulation.events` -- typed simulation events.
+* :mod:`repro.simulation.engine` -- the time-ordered event queue.
+* :mod:`repro.simulation.links` -- link delay models (uniform random,
+  deterministic, per-link tables).
+* :mod:`repro.simulation.network` -- a HEX grid of node automata wired through
+  delay channels, with fault injection and arbitrary initial states.
+* :mod:`repro.simulation.runner` -- high-level entry points: single-pulse and
+  multi-pulse runs, and seeded run sets.
+"""
+
+from repro.simulation.links import (
+    DelayModel,
+    ConstantDelays,
+    TableDelays,
+    UniformRandomDelays,
+    FreshUniformDelays,
+)
+from repro.simulation.engine import EventQueue
+from repro.simulation.network import HexNetwork, TimerPolicy
+from repro.simulation.runner import (
+    simulate_single_pulse,
+    simulate_multi_pulse,
+    SinglePulseResult,
+    MultiPulseResult,
+)
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelays",
+    "TableDelays",
+    "UniformRandomDelays",
+    "FreshUniformDelays",
+    "EventQueue",
+    "HexNetwork",
+    "TimerPolicy",
+    "simulate_single_pulse",
+    "simulate_multi_pulse",
+    "SinglePulseResult",
+    "MultiPulseResult",
+]

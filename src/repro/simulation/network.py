@@ -1,0 +1,402 @@
+"""A HEX grid of node automata wired through delay channels.
+
+:class:`HexNetwork` owns
+
+* one :class:`~repro.core.algorithm.HexNodeAutomaton` per correct (or
+  crash-faulty, pre-crash) forwarding node,
+* the :class:`~repro.simulation.engine.EventQueue`,
+* the link delay model, the timeout configuration and the fault model,
+
+and implements the event handlers that realise the timed semantics of
+Algorithm 1 on the grid:
+
+* ``SourcePulse`` -- a layer-0 clock source fires and broadcasts to its two
+  upper neighbours;
+* ``MessageArrival`` -- a trigger message is memorized (starting a link timer)
+  and the receiving node fires if one of the three guards became satisfied;
+* ``FlagExpiry`` -- a memory flag is cleared after ``T_link``;
+* ``WakeUp`` -- a sleeping node clears all flags and becomes ready again.
+
+Byzantine stuck-at-1 links are modelled exactly as the hardware behaves: the
+receiver's memory flag for such a link is set at simulation start and re-set
+immediately whenever it is cleared (by a link timeout or a wake-up).
+
+The network never draws a random number outside the ``rng`` stream handed to it
+and never iterates over unordered sets when scheduling, so runs are bit-for-bit
+reproducible given (seed, parameters).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import (
+    FiringRecord,
+    HexNodeAutomaton,
+    INCOMING_DIRECTIONS,
+    NodePhase,
+)
+from repro.core.parameters import TimeoutConfig, TimingConfig
+from repro.core.topology import Direction, HexGrid, NodeId
+from repro.faults.models import FaultModel, FaultType, LinkBehavior
+from repro.simulation.engine import EventQueue
+from repro.simulation.events import Event, FlagExpiry, MessageArrival, SourcePulse, WakeUp
+from repro.simulation.links import DelayModel
+
+__all__ = ["TimerPolicy", "HexNetwork"]
+
+
+class TimerPolicy(enum.Enum):
+    """How concrete timer durations are chosen within their allowed intervals."""
+
+    #: Always use the lower bound (``T^-_link`` / ``T^-_sleep``): an ideal,
+    #: drift-free implementation.
+    NOMINAL = "nominal"
+    #: Draw uniformly from ``[T^-, T^+]``: models the clock drift ``theta``.
+    UNIFORM = "uniform"
+
+
+class HexNetwork:
+    """Executable HEX grid for the discrete-event simulator.
+
+    Parameters
+    ----------
+    grid:
+        The HEX grid topology.
+    timing:
+        Link-delay bounds and drift factor.
+    timeouts:
+        Algorithm timeouts (``T_link``, ``T_sleep``) and pulse separation.
+    delays:
+        Link delay model; ``sample`` is called once per message.
+    fault_model:
+        Faults to inject; ``None`` means fault-free.
+    rng:
+        Random generator used for timer draws and random initial states.
+        Required unless ``timer_policy`` is ``NOMINAL`` and no random initial
+        states are requested.
+    timer_policy:
+        How link/sleep timer durations are drawn.
+    max_events:
+        Safety cap on processed events (guards against run-away Byzantine
+        feedback loops in misconfigured experiments).
+    """
+
+    def __init__(
+        self,
+        grid: HexGrid,
+        timing: TimingConfig,
+        timeouts: TimeoutConfig,
+        delays: DelayModel,
+        fault_model: Optional[FaultModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+        max_events: int = 5_000_000,
+    ) -> None:
+        if fault_model is not None and fault_model.grid != grid:
+            raise ValueError("fault model belongs to a different grid")
+        if timer_policy is TimerPolicy.UNIFORM and rng is None:
+            raise ValueError("a random generator is required for the UNIFORM timer policy")
+        self.grid = grid
+        self.timing = timing
+        self.timeouts = timeouts
+        self.delays = delays
+        self.faults = fault_model if fault_model is not None else FaultModel.fault_free(grid)
+        self.rng = rng
+        self.timer_policy = timer_policy
+        self.max_events = max_events
+
+        self.queue: EventQueue[Event] = EventQueue()
+        #: Firing records of layer-0 sources (guard is ``None``).
+        self.source_firings: List[FiringRecord] = []
+
+        # Automata exist for correct forwarding nodes and for crash-faulty nodes
+        # (which behave correctly until their crash time).
+        self.automata: Dict[NodeId, HexNodeAutomaton] = {}
+        for node in grid.forwarding_nodes():
+            fault = self.faults.node_fault(node)
+            if fault is None or fault.fault_type is FaultType.CRASH:
+                self.automata[node] = HexNodeAutomaton(node=node)
+
+        # Pre-compute, per receiving node, the incoming directions driven by a
+        # stuck-at-1 link (Byzantine neighbour or broken wire stuck high).
+        self._byzantine_high_inputs: Dict[NodeId, List[Tuple[Direction, NodeId]]] = {}
+        for node in self.automata:
+            entries: List[Tuple[Direction, NodeId]] = []
+            for direction, source in sorted(
+                grid.in_neighbors(node).items(), key=lambda item: item[0].value
+            ):
+                if self.faults.link_behavior((source, node)) is LinkBehavior.CONSTANT_ONE:
+                    entries.append((direction, source))
+            if entries:
+                self._byzantine_high_inputs[node] = entries
+
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # timer draws
+    # ------------------------------------------------------------------
+    def _draw_link_timeout(self) -> float:
+        if self.timer_policy is TimerPolicy.NOMINAL:
+            return self.timeouts.t_link_min
+        assert self.rng is not None
+        return float(self.rng.uniform(self.timeouts.t_link_min, self.timeouts.t_link_max))
+
+    def _draw_sleep_duration(self) -> float:
+        if self.timer_policy is TimerPolicy.NOMINAL:
+            return self.timeouts.t_sleep_min
+        assert self.rng is not None
+        return float(self.rng.uniform(self.timeouts.t_sleep_min, self.timeouts.t_sleep_max))
+
+    # ------------------------------------------------------------------
+    # initialisation
+    # ------------------------------------------------------------------
+    def _node_active(self, node: NodeId, time: float) -> bool:
+        """Whether ``node`` executes the algorithm at ``time`` (crash handling)."""
+        fault = self.faults.node_fault(node)
+        if fault is None:
+            return True
+        if fault.fault_type is FaultType.CRASH:
+            return time < fault.crash_time
+        return False
+
+    def initialize(self) -> None:
+        """Seed the event queue with the stuck-at-1 link assertions.
+
+        Must be called exactly once before :meth:`run` (the runner does this).
+        """
+        if self._initialized:
+            return
+        self._initialized = True
+        for node in sorted(self._byzantine_high_inputs):
+            for direction, source in self._byzantine_high_inputs[node]:
+                self.queue.schedule(
+                    0.0,
+                    MessageArrival(
+                        source=source,
+                        destination=node,
+                        direction=direction,
+                        from_byzantine_high=True,
+                    ),
+                )
+
+    def schedule_source_pulses(self, schedule: np.ndarray) -> None:
+        """Schedule the layer-0 pulse generation.
+
+        Parameters
+        ----------
+        schedule:
+            Array of shape ``(num_pulses, W)``: entry ``[k, i]`` is the time at
+            which source ``(0, i)`` generates its ``k``-th pulse.  Entries of
+            faulty sources are ignored (their behaviour is governed by the
+            fault model); ``nan`` entries are skipped.
+        """
+        schedule = np.atleast_2d(np.asarray(schedule, dtype=float))
+        if schedule.shape[1] != self.grid.width:
+            raise ValueError(
+                f"schedule must have {self.grid.width} columns, got shape {schedule.shape}"
+            )
+        for pulse_index in range(schedule.shape[0]):
+            for column in range(self.grid.width):
+                source = (0, column)
+                if self.faults.is_faulty(source):
+                    continue
+                time = schedule[pulse_index, column]
+                if not math.isfinite(time):
+                    continue
+                self.queue.schedule(float(time), SourcePulse(node=source, pulse_index=pulse_index))
+
+    def apply_random_initial_states(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Put every correct forwarding node into a random internal state.
+
+        Used by the self-stabilization experiments of Section 4.4 ("starting
+        with all non-faulty nodes in random initial states").  Each node is
+        independently ready or sleeping (with a uniformly random residual sleep
+        time), and each of its memory flags is independently set (with a
+        uniformly random residual link-timer duration).
+
+        Must be called after :meth:`initialize` and before :meth:`run`.
+        """
+        generator = rng if rng is not None else self.rng
+        if generator is None:
+            raise ValueError("a random generator is required for random initial states")
+        for node in sorted(self.automata):
+            automaton = self.automata[node]
+            sleeping = bool(generator.integers(0, 2))
+            flags: Dict[Direction, float] = {}
+            for direction in INCOMING_DIRECTIONS:
+                if bool(generator.integers(0, 2)):
+                    expiry = float(generator.uniform(0.0, self.timeouts.t_link_max))
+                    flags[direction] = expiry
+            if sleeping:
+                wake_time = float(generator.uniform(0.0, self.timeouts.t_sleep_max))
+                automaton.force_state(NodePhase.SLEEPING, flags=flags, wake_time=wake_time)
+                self.queue.schedule(wake_time, WakeUp(node=node))
+            else:
+                automaton.force_state(NodePhase.READY, flags=flags)
+            for direction, expiry in flags.items():
+                self.queue.schedule(expiry, FlagExpiry(node=node, direction=direction, expiry=expiry))
+        # Nodes whose arbitrary initial flags already satisfy a guard fire as
+        # soon as the run starts.
+        for node in sorted(self.automata):
+            self._attempt_fire(node, 0.0)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _broadcast(self, source: NodeId, time: float) -> None:
+        """Send the trigger message of ``source`` on all its outgoing links."""
+        for direction, destination in sorted(
+            self.grid.out_neighbors(source).items(), key=lambda item: item[0].value
+        ):
+            if destination[0] == 0:
+                continue
+            if destination not in self.automata:
+                continue
+            behavior = self.faults.link_behavior((source, destination), time=time)
+            if behavior is not LinkBehavior.CORRECT:
+                continue
+            arrival_time = time + self.delays.sample(source, destination)
+            self.queue.schedule(
+                arrival_time,
+                MessageArrival(
+                    source=source,
+                    destination=destination,
+                    direction=self.grid.direction_between(source, destination),
+                ),
+            )
+
+    def _attempt_fire(self, node: NodeId, time: float) -> Optional[FiringRecord]:
+        """Fire ``node`` if it is ready and a guard is satisfied."""
+        automaton = self.automata[node]
+        if automaton.phase is not NodePhase.READY or automaton.satisfied_guard() is None:
+            return None
+        if not self._node_active(node, time):
+            return None
+        record = automaton.try_fire(time, self._draw_sleep_duration())
+        assert record is not None
+        self.queue.schedule(automaton.wake_time, WakeUp(node=node))
+        self._broadcast(node, time)
+        return record
+
+    def _reassert_byzantine_high(self, node: NodeId, direction: Direction, time: float) -> None:
+        """Re-schedule a stuck-at-1 arrival after its memory flag was cleared."""
+        for high_direction, source in self._byzantine_high_inputs.get(node, ()):
+            if high_direction is direction:
+                self.queue.schedule(
+                    time,
+                    MessageArrival(
+                        source=source,
+                        destination=node,
+                        direction=direction,
+                        from_byzantine_high=True,
+                    ),
+                )
+
+    def _handle(self, time: float, event: Event) -> None:
+        if isinstance(event, SourcePulse):
+            self.source_firings.append(
+                FiringRecord(node=event.node, time=time, guard=None)
+            )
+            self._broadcast(event.node, time)
+        elif isinstance(event, MessageArrival):
+            node = event.destination
+            automaton = self.automata.get(node)
+            if automaton is None or not self._node_active(node, time):
+                return
+            expiry = automaton.receive_trigger(event.direction, time, self._draw_link_timeout())
+            if expiry is not None:
+                self.queue.schedule(
+                    expiry, FlagExpiry(node=node, direction=event.direction, expiry=expiry)
+                )
+            self._attempt_fire(node, time)
+        elif isinstance(event, FlagExpiry):
+            automaton = self.automata.get(event.node)
+            if automaton is None:
+                return
+            if automaton.expire_flag(event.direction, event.expiry):
+                self._reassert_byzantine_high(event.node, event.direction, time)
+        elif isinstance(event, WakeUp):
+            automaton = self.automata.get(event.node)
+            if automaton is None:
+                return
+            if automaton.wake_up(time):
+                for direction, _source in self._byzantine_high_inputs.get(event.node, ()):
+                    self._reassert_byzantine_high(event.node, direction, time)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event type {type(event)!r}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float = math.inf) -> int:
+        """Process events in time order up to ``until`` (inclusive).
+
+        Returns
+        -------
+        int
+            The number of events processed by this call.
+
+        Raises
+        ------
+        RuntimeError
+            If the safety cap ``max_events`` is exceeded.
+        """
+        if not self._initialized:
+            self.initialize()
+        processed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            assert next_time is not None
+            if next_time > until:
+                break
+            time, event = self.queue.pop()
+            self._handle(time, event)
+            processed += 1
+            if self.queue.num_processed > self.max_events:
+                raise RuntimeError(
+                    f"event cap of {self.max_events} exceeded; "
+                    "check the fault model / timeout configuration for livelock"
+                )
+        return processed
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def firing_times(self, node: NodeId) -> List[float]:
+        """All firing times of a node (sources and forwarding nodes alike)."""
+        node = self.grid.validate_node(node)
+        if node[0] == 0:
+            return [record.time for record in self.source_firings if record.node == node]
+        automaton = self.automata.get(node)
+        if automaton is None:
+            return []
+        return [record.time for record in automaton.firings]
+
+    def all_firings(self) -> List[FiringRecord]:
+        """All firing records of the run, sorted by time."""
+        records = list(self.source_firings)
+        for automaton in self.automata.values():
+            records.extend(automaton.firings)
+        return sorted(records, key=lambda record: (record.time, record.node))
+
+    def first_firing_matrix(self) -> np.ndarray:
+        """Matrix of shape ``(L + 1, W)`` with each node's *first* firing time.
+
+        Nodes that never fired carry ``+inf``; faulty nodes carry ``nan``.
+        Intended for single-pulse runs, where the first firing is the pulse.
+        """
+        times = np.full(self.grid.shape, math.inf, dtype=float)
+        for layer, column in self.grid.nodes():
+            node = (layer, column)
+            if self.faults.is_faulty(node):
+                times[layer, column] = math.nan
+                continue
+            firings = self.firing_times(node)
+            if firings:
+                times[layer, column] = firings[0]
+        return times

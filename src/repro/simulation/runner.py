@@ -1,0 +1,346 @@
+"""High-level simulation entry points.
+
+Two granularities are provided:
+
+* :func:`simulate_single_pulse` propagates one pulse wave through the grid and
+  returns the dense trigger-time matrix.  The default engine is the analytic
+  solver of :mod:`repro.core.pulse_solver` (fast, exact under constraints
+  (C1)/(C2)); ``engine="des"`` runs the full discrete-event simulation with
+  identical per-link delays so the two can be compared.
+
+* :func:`simulate_multi_pulse` runs the discrete-event simulator over a whole
+  schedule of layer-0 pulses, optionally from random initial states, and
+  returns the raw firing records -- the input of the stabilization analysis
+  (Section 4.4).
+
+Both helpers accept either a seed or a ready-made :class:`numpy.random.Generator`
+so experiment harnesses can spawn independent child streams per run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.bounds import lemma5_pulse_skew_bound
+from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
+from repro.core.pulse_solver import PulseSolution, solve_single_pulse
+from repro.core.topology import HexGrid, NodeId
+from repro.faults.models import FaultModel
+from repro.simulation.links import DelayModel, UniformRandomDelays, FreshUniformDelays
+from repro.simulation.network import HexNetwork, TimerPolicy
+
+__all__ = [
+    "SinglePulseResult",
+    "MultiPulseResult",
+    "simulate_single_pulse",
+    "simulate_multi_pulse",
+    "default_timeouts",
+]
+
+
+def _make_rng(
+    seed: Optional[int], rng: Optional[np.random.Generator]
+) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def default_timeouts(
+    grid: HexGrid,
+    timing: TimingConfig,
+    num_faults: int = 0,
+    layer0_spread: float = 0.0,
+    signal_duration: float = 0.0,
+) -> TimeoutConfig:
+    """Conservative Condition 2 timeouts from the Lemma 5 stable-skew bound.
+
+    This is the "C = 0" parameter choice of the stabilization experiments: the
+    stable skew is bounded by Lemma 5 as ``t_max - t_min + epsilon L + f d+``,
+    where ``layer0_spread`` plays the role of ``t_max - t_min``.
+    """
+    stable_skew = lemma5_pulse_skew_bound(
+        timing, grid.layers, num_faults, layer0_spread=layer0_spread
+    )
+    return condition2_timeouts(
+        timing,
+        stable_skew=stable_skew,
+        layers=grid.layers,
+        num_faults=num_faults,
+        signal_duration=signal_duration,
+    )
+
+
+@dataclass
+class SinglePulseResult:
+    """Result of a single-pulse simulation run.
+
+    Attributes
+    ----------
+    grid, timing:
+        The topology and delay bounds used.
+    trigger_times:
+        Shape ``(L + 1, W)``; ``+inf`` for never-fired, ``nan`` for faulty nodes.
+    correct_mask:
+        ``True`` where the node is correct.
+    layer0_times:
+        The layer-0 firing times driving the run.
+    engine:
+        ``"solver"`` or ``"des"``.
+    solution:
+        The full :class:`~repro.core.pulse_solver.PulseSolution` when the
+        analytic engine was used (``None`` for the discrete-event engine).
+    fault_model:
+        The fault model of the run (``None`` when fault-free).
+    """
+
+    grid: HexGrid
+    timing: TimingConfig
+    trigger_times: np.ndarray
+    correct_mask: np.ndarray
+    layer0_times: np.ndarray
+    engine: str
+    solution: Optional[PulseSolution] = None
+    fault_model: Optional[FaultModel] = None
+
+    def trigger_time(self, node: NodeId) -> float:
+        """Firing time of one node."""
+        layer, column = self.grid.validate_node(node)
+        return float(self.trigger_times[layer, column])
+
+    def all_correct_triggered(self) -> bool:
+        """Whether every correct forwarding node fired."""
+        times = self.trigger_times[1:, :]
+        mask = self.correct_mask[1:, :]
+        return bool(np.all(np.isfinite(times[mask])))
+
+
+@dataclass
+class MultiPulseResult:
+    """Result of a multi-pulse discrete-event simulation run.
+
+    Attributes
+    ----------
+    grid, timing, timeouts:
+        Topology, delay bounds and algorithm timeouts used.
+    source_schedule:
+        Shape ``(num_pulses, W)``: the layer-0 pulse generation times.
+    firing_times:
+        Mapping node -> sorted list of all its firing times during the run
+        (including spurious firings caused by arbitrary initial states).
+    fault_model:
+        The fault model of the run (``None`` when fault-free).
+    """
+
+    grid: HexGrid
+    timing: TimingConfig
+    timeouts: TimeoutConfig
+    source_schedule: np.ndarray
+    firing_times: Dict[NodeId, List[float]]
+    fault_model: Optional[FaultModel] = None
+
+    @property
+    def num_pulses(self) -> int:
+        """Number of pulses the layer-0 sources generated."""
+        return int(self.source_schedule.shape[0])
+
+    def firings_of(self, node: NodeId) -> List[float]:
+        """All firing times of one node (empty for faulty nodes)."""
+        return self.firing_times.get(self.grid.validate_node(node), [])
+
+    def total_firings(self) -> int:
+        """Total number of firings across all nodes."""
+        return sum(len(times) for times in self.firing_times.values())
+
+
+def simulate_single_pulse(
+    grid: HexGrid,
+    timing: TimingConfig,
+    layer0_times: Sequence[float],
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    fault_model: Optional[FaultModel] = None,
+    delays: Optional[DelayModel] = None,
+    engine: str = "solver",
+    timeouts: Optional[TimeoutConfig] = None,
+    timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+) -> SinglePulseResult:
+    """Propagate a single pulse wave through the grid.
+
+    Parameters
+    ----------
+    grid, timing:
+        Topology and delay bounds.
+    layer0_times:
+        Firing times of the ``W`` layer-0 sources (see
+        :func:`repro.clocksource.scenarios.scenario_layer0_times`).
+    seed, rng:
+        Randomness control (per-link delays and, for the DES engine, timer
+        draws).  Exactly one of them is typically given; with neither, a fresh
+        unseeded generator is used.
+    fault_model:
+        Faults to inject.
+    delays:
+        Explicit link delay model; defaults to per-link uniform delays in
+        ``[d-, d+]`` drawn from the run's RNG.
+    engine:
+        ``"solver"`` (analytic, default) or ``"des"`` (discrete-event).
+    timeouts:
+        Algorithm timeouts for the DES engine; defaults to the conservative
+        Condition 2 values from :func:`default_timeouts`.
+    timer_policy:
+        Timer-draw policy for the DES engine.
+
+    Returns
+    -------
+    SinglePulseResult
+    """
+    generator = _make_rng(seed, rng)
+    layer0 = np.asarray(layer0_times, dtype=float)
+    if layer0.shape != (grid.width,):
+        raise ValueError(f"layer0_times must have shape ({grid.width},), got {layer0.shape}")
+    if delays is None:
+        delays = UniformRandomDelays(timing, generator)
+
+    if engine == "solver":
+        solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+        return SinglePulseResult(
+            grid=grid,
+            timing=timing,
+            trigger_times=solution.trigger_times,
+            correct_mask=solution.correct_mask,
+            layer0_times=solution.layer0_times,
+            engine="solver",
+            solution=solution,
+            fault_model=fault_model,
+        )
+    if engine == "des":
+        if timeouts is None:
+            num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
+            spread = float(np.nanmax(layer0) - np.nanmin(layer0)) if layer0.size else 0.0
+            timeouts = default_timeouts(grid, timing, num_faults=num_faults, layer0_spread=spread)
+        network = HexNetwork(
+            grid=grid,
+            timing=timing,
+            timeouts=timeouts,
+            delays=delays,
+            fault_model=fault_model,
+            rng=generator,
+            timer_policy=timer_policy,
+        )
+        network.initialize()
+        network.schedule_source_pulses(layer0[np.newaxis, :])
+        # Byzantine stuck-at-1 links re-assert themselves forever, so the run
+        # must be bounded; by Lemma 5 every correct node that fires at all does
+        # so within (L + f) d+ of the last layer-0 firing.
+        num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
+        horizon = (
+            float(np.nanmax(layer0))
+            + (grid.layers + num_faults + 2) * timing.d_max
+            + timeouts.t_sleep_max
+        )
+        network.run(until=horizon)
+        trigger_times = network.first_firing_matrix()
+        correct_mask = (
+            fault_model.correctness_mask()
+            if fault_model is not None
+            else np.ones(grid.shape, dtype=bool)
+        )
+        return SinglePulseResult(
+            grid=grid,
+            timing=timing,
+            trigger_times=trigger_times,
+            correct_mask=correct_mask,
+            layer0_times=layer0.copy(),
+            engine="des",
+            solution=None,
+            fault_model=fault_model,
+        )
+    raise ValueError(f"unknown engine {engine!r}; expected 'solver' or 'des'")
+
+
+def simulate_multi_pulse(
+    grid: HexGrid,
+    timing: TimingConfig,
+    timeouts: TimeoutConfig,
+    source_schedule: np.ndarray,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    fault_model: Optional[FaultModel] = None,
+    delays: Optional[DelayModel] = None,
+    random_initial_states: bool = True,
+    timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    run_slack: float = 0.0,
+) -> MultiPulseResult:
+    """Run the discrete-event simulator over a schedule of layer-0 pulses.
+
+    Parameters
+    ----------
+    source_schedule:
+        Array of shape ``(num_pulses, W)`` of layer-0 pulse-generation times
+        (see :func:`repro.clocksource.generator.generate_pulse_schedule`).
+    random_initial_states:
+        Start every correct forwarding node in a random internal state
+        (Section 4.4's stabilization setting).  With ``False`` all nodes start
+        in the clean ready state.
+    run_slack:
+        Extra simulated time after the last scheduled source pulse (on top of a
+        conservative per-layer propagation allowance) before the run stops.
+    delays:
+        Delay model; defaults to fresh per-message uniform delays in
+        ``[d-, d+]``.
+
+    Returns
+    -------
+    MultiPulseResult
+    """
+    generator = _make_rng(seed, rng)
+    schedule = np.atleast_2d(np.asarray(source_schedule, dtype=float))
+    if schedule.shape[1] != grid.width:
+        raise ValueError(
+            f"source_schedule must have {grid.width} columns, got shape {schedule.shape}"
+        )
+    if delays is None:
+        delays = FreshUniformDelays(timing, generator)
+
+    network = HexNetwork(
+        grid=grid,
+        timing=timing,
+        timeouts=timeouts,
+        delays=delays,
+        fault_model=fault_model,
+        rng=generator,
+        timer_policy=timer_policy,
+    )
+    network.initialize()
+    if random_initial_states:
+        network.apply_random_initial_states(generator)
+    network.schedule_source_pulses(schedule)
+
+    num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
+    horizon = (
+        float(np.nanmax(schedule))
+        + (grid.layers + num_faults + 2) * timing.d_max
+        + timeouts.t_sleep_max
+        + run_slack
+    )
+    network.run(until=horizon)
+
+    firing_times: Dict[NodeId, List[float]] = {}
+    for node in grid.nodes():
+        if fault_model is not None and fault_model.is_faulty(node):
+            continue
+        firing_times[node] = network.firing_times(node)
+
+    return MultiPulseResult(
+        grid=grid,
+        timing=timing,
+        timeouts=timeouts,
+        source_schedule=schedule,
+        firing_times=firing_times,
+        fault_model=fault_model,
+    )

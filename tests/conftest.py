@@ -1,0 +1,46 @@
+"""Shared fixtures for the HEX reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import TimingConfig
+from repro.core.topology import HexGrid
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture
+def timing() -> TimingConfig:
+    """The paper's delay bounds ([7.161, 8.197] ns, theta = 1.05)."""
+    return TimingConfig.paper_defaults()
+
+
+@pytest.fixture
+def simple_timing() -> TimingConfig:
+    """Round-number delay bounds convenient for hand-computed expectations."""
+    return TimingConfig(d_min=8.0, d_max=10.0, theta=1.1)
+
+
+@pytest.fixture
+def small_grid() -> HexGrid:
+    """A small grid (L=6, W=5) for exhaustive structural checks."""
+    return HexGrid(layers=6, width=5)
+
+
+@pytest.fixture
+def medium_grid() -> HexGrid:
+    """A mid-size grid (L=15, W=10) for behavioural checks."""
+    return HexGrid(layers=15, width=10)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quick_config() -> ExperimentConfig:
+    """The quick experiment configuration (20x10 grid, 5 runs)."""
+    return ExperimentConfig.quick()

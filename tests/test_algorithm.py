@@ -1,0 +1,188 @@
+"""Tests for the HEX node state machine (Algorithm 1 / Fig. 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import (
+    GuardKind,
+    HexNodeAutomaton,
+    INCOMING_DIRECTIONS,
+    NodePhase,
+)
+from repro.core.topology import Direction
+
+
+@pytest.fixture
+def automaton() -> HexNodeAutomaton:
+    return HexNodeAutomaton(node=(3, 2))
+
+
+class TestGuards:
+    def test_guard_causal_directions(self):
+        assert GuardKind.LEFT_TRIGGERED.causal_directions == (
+            Direction.LEFT,
+            Direction.LOWER_LEFT,
+        )
+        assert GuardKind.CENTRALLY_TRIGGERED.causal_directions == (
+            Direction.LOWER_LEFT,
+            Direction.LOWER_RIGHT,
+        )
+        assert GuardKind.RIGHT_TRIGGERED.causal_directions == (
+            Direction.LOWER_RIGHT,
+            Direction.RIGHT,
+        )
+
+    def test_guard_labels(self):
+        assert GuardKind.LEFT_TRIGGERED.label == "left"
+        assert GuardKind.CENTRALLY_TRIGGERED.label == "central"
+        assert GuardKind.RIGHT_TRIGGERED.label == "right"
+
+    def test_no_guard_with_single_message(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=10.0)
+        assert automaton.satisfied_guard() is None
+
+    def test_nonadjacent_pair_does_not_fire(self, automaton):
+        # Left + right is NOT one of Algorithm 1's guards.
+        automaton.receive_trigger(Direction.LEFT, now=0.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.RIGHT, now=1.0, link_timeout=10.0)
+        assert automaton.satisfied_guard() is None
+        assert automaton.try_fire(now=1.0, sleep_duration=5.0) is None
+
+    @pytest.mark.parametrize(
+        "pair, expected",
+        [
+            ((Direction.LEFT, Direction.LOWER_LEFT), GuardKind.LEFT_TRIGGERED),
+            ((Direction.LOWER_LEFT, Direction.LOWER_RIGHT), GuardKind.CENTRALLY_TRIGGERED),
+            ((Direction.LOWER_RIGHT, Direction.RIGHT), GuardKind.RIGHT_TRIGGERED),
+        ],
+    )
+    def test_each_guard_fires(self, automaton, pair, expected):
+        for direction in pair:
+            automaton.receive_trigger(direction, now=0.0, link_timeout=10.0)
+        assert automaton.satisfied_guard() is expected
+
+
+class TestFiring:
+    def test_fire_records_time_guard_and_sleeps(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=1.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=2.5, link_timeout=10.0)
+        record = automaton.try_fire(now=2.5, sleep_duration=7.0)
+        assert record is not None
+        assert record.time == pytest.approx(2.5)
+        assert record.guard is GuardKind.CENTRALLY_TRIGGERED
+        assert automaton.phase is NodePhase.SLEEPING
+        assert automaton.wake_time == pytest.approx(9.5)
+        assert automaton.num_firings == 1
+
+    def test_does_not_fire_while_sleeping(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=0.0, link_timeout=10.0)
+        automaton.try_fire(now=0.0, sleep_duration=5.0)
+        # New messages arrive while sleeping; flags are set but no firing happens.
+        automaton.receive_trigger(Direction.LEFT, now=1.0, link_timeout=10.0)
+        assert automaton.try_fire(now=1.0, sleep_duration=5.0) is None
+        assert automaton.num_firings == 1
+
+    def test_wakeup_clears_flags(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=100.0)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=0.0, link_timeout=100.0)
+        automaton.try_fire(now=0.0, sleep_duration=5.0)
+        automaton.receive_trigger(Direction.LEFT, now=2.0, link_timeout=100.0)
+        assert automaton.wake_up(now=5.0)
+        assert automaton.phase is NodePhase.READY
+        assert automaton.memorized_directions() == ()
+        # After waking with cleared flags, nothing fires.
+        assert automaton.try_fire(now=5.0, sleep_duration=5.0) is None
+
+    def test_stale_wakeup_is_ignored(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=0.0, link_timeout=10.0)
+        automaton.try_fire(now=0.0, sleep_duration=5.0)
+        assert not automaton.wake_up(now=3.0)  # wrong time
+        assert automaton.phase is NodePhase.SLEEPING
+        assert not automaton.wake_up(now=6.0)  # also wrong
+        assert automaton.wake_up(now=5.0)
+
+    def test_fire_requires_positive_sleep(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=0.0, link_timeout=10.0)
+        with pytest.raises(ValueError):
+            automaton.try_fire(now=0.0, sleep_duration=0.0)
+
+
+class TestMemoryFlags:
+    def test_receive_returns_expiry(self, automaton):
+        expiry = automaton.receive_trigger(Direction.LEFT, now=3.0, link_timeout=10.0)
+        assert expiry == pytest.approx(13.0)
+        assert automaton.is_memorized(Direction.LEFT)
+
+    def test_duplicate_message_is_absorbed(self, automaton):
+        first = automaton.receive_trigger(Direction.LEFT, now=3.0, link_timeout=10.0)
+        second = automaton.receive_trigger(Direction.LEFT, now=4.0, link_timeout=10.0)
+        assert first is not None and second is None
+        # The original expiry still stands.
+        assert automaton.flags[Direction.LEFT] == pytest.approx(13.0)
+
+    def test_expire_flag_clears_only_matching_expiry(self, automaton):
+        expiry = automaton.receive_trigger(Direction.LEFT, now=0.0, link_timeout=10.0)
+        assert not automaton.expire_flag(Direction.LEFT, expiry + 1.0)
+        assert automaton.is_memorized(Direction.LEFT)
+        assert automaton.expire_flag(Direction.LEFT, expiry)
+        assert not automaton.is_memorized(Direction.LEFT)
+
+    def test_expired_flag_prevents_firing(self, automaton):
+        expiry = automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=2.0)
+        automaton.expire_flag(Direction.LOWER_LEFT, expiry)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=5.0, link_timeout=2.0)
+        assert automaton.satisfied_guard() is None
+
+    def test_rejects_outgoing_direction(self, automaton):
+        with pytest.raises(ValueError):
+            automaton.receive_trigger(Direction.UPPER_LEFT, now=0.0, link_timeout=1.0)
+
+    def test_rejects_nonpositive_timeout(self, automaton):
+        with pytest.raises(ValueError):
+            automaton.receive_trigger(Direction.LEFT, now=0.0, link_timeout=0.0)
+
+    def test_memorized_directions_order(self, automaton):
+        automaton.receive_trigger(Direction.RIGHT, now=0.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.LEFT, now=0.0, link_timeout=10.0)
+        assert automaton.memorized_directions() == (Direction.LEFT, Direction.RIGHT)
+
+
+class TestInitialStateControl:
+    def test_force_sleeping_state(self, automaton):
+        automaton.force_state(NodePhase.SLEEPING, flags={Direction.LEFT: 4.0}, wake_time=9.0)
+        assert automaton.phase is NodePhase.SLEEPING
+        assert automaton.wake_time == pytest.approx(9.0)
+        assert automaton.is_memorized(Direction.LEFT)
+
+    def test_force_ready_state_with_satisfied_guard_fires(self, automaton):
+        automaton.force_state(
+            NodePhase.READY,
+            flags={Direction.LOWER_LEFT: 5.0, Direction.LOWER_RIGHT: 5.0},
+        )
+        record = automaton.try_fire(now=0.0, sleep_duration=3.0)
+        assert record is not None and record.guard is GuardKind.CENTRALLY_TRIGGERED
+
+    def test_force_state_rejects_outgoing_flag(self, automaton):
+        with pytest.raises(ValueError):
+            automaton.force_state(NodePhase.READY, flags={Direction.UPPER_LEFT: 1.0})
+
+    def test_reset(self, automaton):
+        automaton.receive_trigger(Direction.LOWER_LEFT, now=0.0, link_timeout=10.0)
+        automaton.receive_trigger(Direction.LOWER_RIGHT, now=0.0, link_timeout=10.0)
+        automaton.try_fire(now=0.0, sleep_duration=5.0)
+        automaton.reset()
+        assert automaton.phase is NodePhase.READY
+        assert automaton.num_firings == 0
+        assert automaton.memorized_directions() == ()
+
+    def test_incoming_directions_constant(self):
+        assert INCOMING_DIRECTIONS == (
+            Direction.LEFT,
+            Direction.LOWER_LEFT,
+            Direction.LOWER_RIGHT,
+            Direction.RIGHT,
+        )

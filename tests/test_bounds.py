@@ -1,0 +1,199 @@
+"""Tests for the analytic skew bounds of Section 3."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    corollary1_intra_layer_bound,
+    lemma3_skew_potential_bound,
+    lemma4_intra_layer_bound,
+    lemma5_pulse_skew_bound,
+    lemma5_triggering_window,
+    paper_quoted_theorem1_value,
+    skew_potential,
+    stable_skew_choice,
+    theorem1_inter_layer_bounds,
+    theorem1_intra_layer_bound,
+    theorem1_uniform_bound,
+    theorem2_stabilization_pulses,
+)
+from repro.core.parameters import TimingConfig
+
+
+class TestSkewPotential:
+    def test_zero_for_identical_times(self):
+        assert skew_potential(np.zeros(8), d_min=7.0) == 0.0
+
+    def test_zero_for_small_spread(self):
+        # All times within d- of each other and adjacent -> potential 0.
+        times = np.array([0.0, 1.0, 2.0, 1.0, 0.5])
+        assert skew_potential(times, d_min=7.0) == 0.0
+
+    def test_positive_when_neighbours_exceed_dmin(self):
+        times = np.array([0.0, 10.0, 0.0, 0.0, 0.0])
+        # Columns 1 and 2 are adjacent (distance 1): 10 - 0 - 7 = 3.
+        assert skew_potential(times, d_min=7.0) == pytest.approx(3.0)
+
+    def test_uses_cyclic_distance(self):
+        # The large gap is between the first and the last column, which are
+        # cyclically adjacent.
+        times = np.array([10.0, 0.0, 0.0, 0.0, 0.0])
+        assert skew_potential(times, d_min=7.0) == pytest.approx(3.0)
+
+    def test_ramp_at_dmin_slope_has_zero_potential_without_wrap(self):
+        # A ramp with slope exactly d- per column has zero potential except for
+        # the cyclic wrap between last and first column.
+        d_min = 7.0
+        times = np.arange(4) * d_min
+        # pairs within the ramp contribute 0; the wrap pair (3,0) contributes
+        # 3*7 - 1*7 = 14.
+        assert skew_potential(times, d_min=d_min) == pytest.approx(14.0)
+
+    def test_ignores_nan_entries(self):
+        times = np.array([0.0, np.nan, 20.0, 0.0])
+        value = skew_potential(times, d_min=7.0)
+        assert np.isfinite(value) and value > 0
+
+    def test_all_nan_gives_zero(self):
+        assert skew_potential(np.full(5, np.nan), d_min=7.0) == 0.0
+
+    def test_scenario_skew_potentials_match_paper(self, timing):
+        """The paper states Delta_0 = 0 for (i)/(ii), ~eps for (iii), ~W eps/2 for (iv)."""
+        from repro.clocksource.scenarios import scenario_layer0_times
+
+        width = 20
+        zero = scenario_layer0_times("i", width, timing)
+        assert skew_potential(zero, timing.d_min) == 0.0
+        dmin = scenario_layer0_times("ii", width, timing, seed=3)
+        assert skew_potential(dmin, timing.d_min) == 0.0
+        dmax = scenario_layer0_times("iii", width, timing, seed=3)
+        assert 0.0 <= skew_potential(dmax, timing.d_min) <= timing.epsilon + 1e-9
+        ramp = scenario_layer0_times("iv", width, timing)
+        expected = width * timing.epsilon / 2  # paper: ~ 10.36 ns
+        assert skew_potential(ramp, timing.d_min) == pytest.approx(expected, rel=0.05)
+
+
+class TestLemma3:
+    def test_value(self, timing):
+        assert lemma3_skew_potential_bound(timing, 20) == pytest.approx(2 * 18 * timing.epsilon)
+
+    def test_requires_width_above_two(self, timing):
+        with pytest.raises(ValueError):
+            lemma3_skew_potential_bound(timing, 2)
+
+
+class TestLemma4:
+    def test_formula(self, timing):
+        # d+ + ceil(l eps / d+) eps + Delta_0
+        bound = lemma4_intra_layer_bound(timing, layer=10, base_skew_potential=2.0)
+        expected = timing.d_max + math.ceil(10 * timing.epsilon / timing.d_max) * timing.epsilon + 2.0
+        assert bound == pytest.approx(expected)
+
+    def test_monotone_in_layer_and_potential(self, timing):
+        assert lemma4_intra_layer_bound(timing, 30) >= lemma4_intra_layer_bound(timing, 5)
+        assert lemma4_intra_layer_bound(timing, 10, base_skew_potential=5.0) > lemma4_intra_layer_bound(
+            timing, 10, base_skew_potential=0.0
+        )
+
+    def test_respects_base_layer(self, timing):
+        assert lemma4_intra_layer_bound(timing, 20, base_layer=15) == pytest.approx(
+            lemma4_intra_layer_bound(timing, 5, base_layer=0)
+        )
+
+    def test_validation(self, timing):
+        with pytest.raises(ValueError):
+            lemma4_intra_layer_bound(timing, layer=3, base_layer=3)
+        with pytest.raises(ValueError):
+            lemma4_intra_layer_bound(timing, layer=3, base_skew_potential=-1.0)
+
+
+class TestCorollary1AndTheorem1:
+    def test_theorem1_uniform_value_for_paper_parameters(self, timing):
+        # d+ + ceil(W eps / d+) eps = 8.197 + 3 * 1.036 = 11.305
+        assert theorem1_uniform_bound(timing, 20) == pytest.approx(11.305, abs=1e-3)
+
+    def test_paper_quoted_value(self, timing):
+        # 2 d+ + 2 W eps^2 / d+ = 21.63 (the number quoted in Section 4.2)
+        assert paper_quoted_theorem1_value(timing, 20) == pytest.approx(21.63, abs=0.01)
+
+    def test_corollary1_reduces_to_uniform_bound_for_zero_potential(self, timing):
+        value = corollary1_intra_layer_bound(timing, 20, skew_potential_w_below=0.0)
+        assert value >= theorem1_uniform_bound(timing, 20)
+
+    def test_theorem1_piecewise_structure(self, timing):
+        width = 20
+        # Zero layer-0 potential: uniform bound everywhere.
+        assert theorem1_intra_layer_bound(timing, width, layer=1) == pytest.approx(
+            theorem1_uniform_bound(timing, width)
+        )
+        # Non-zero potential: low layers get the Lemma 4 bound including Delta_0 ...
+        low = theorem1_intra_layer_bound(timing, width, layer=5, layer0_skew_potential=10.0)
+        assert low == pytest.approx(lemma4_intra_layer_bound(timing, 5, base_skew_potential=10.0))
+        # ... and high layers forget it.
+        high = theorem1_intra_layer_bound(timing, width, layer=2 * width - 2, layer0_skew_potential=10.0)
+        assert high == pytest.approx(theorem1_uniform_bound(timing, width))
+        assert high < low
+
+    def test_theorem1_requires_constraint(self):
+        loose = TimingConfig(d_min=4.0, d_max=8.0)
+        with pytest.raises(ValueError):
+            theorem1_intra_layer_bound(loose, 10, layer=3)
+        # ... unless explicitly disabled.
+        value = theorem1_intra_layer_bound(loose, 10, layer=3, require_constraint=False)
+        assert value > 0
+
+    def test_inter_layer_bounds(self, timing):
+        low, high = theorem1_inter_layer_bounds(timing, sigma_previous_layer=21.63)
+        assert low == pytest.approx(-14.47, abs=0.01)
+        assert high == pytest.approx(29.83, abs=0.01)
+        with pytest.raises(ValueError):
+            theorem1_inter_layer_bounds(timing, -1.0)
+
+    def test_theorem1_layer_validation(self, timing):
+        with pytest.raises(ValueError):
+            theorem1_intra_layer_bound(timing, 20, layer=0)
+
+
+class TestLemma5:
+    def test_pulse_skew_bound(self, timing):
+        bound = lemma5_pulse_skew_bound(timing, layers=50, num_faults=3, layer0_spread=5.0)
+        assert bound == pytest.approx(5.0 + 50 * timing.epsilon + 3 * timing.d_max)
+
+    def test_triggering_window(self, timing):
+        low, high = lemma5_triggering_window(timing, layer=10, num_faulty_layers_below=2, t_min=0.0, t_max=4.0)
+        assert low == pytest.approx(10 * timing.d_min)
+        assert high == pytest.approx(4.0 + 12 * timing.d_max)
+
+    def test_validation(self, timing):
+        with pytest.raises(ValueError):
+            lemma5_pulse_skew_bound(timing, layers=0, num_faults=0)
+        with pytest.raises(ValueError):
+            lemma5_pulse_skew_bound(timing, layers=10, num_faults=-1)
+        with pytest.raises(ValueError):
+            lemma5_triggering_window(timing, layer=1, num_faulty_layers_below=0, t_min=5.0, t_max=1.0)
+
+
+class TestTheorem2AndStabilizationChoices:
+    def test_theorem2(self):
+        assert theorem2_stabilization_pulses(0) == 1
+        assert theorem2_stabilization_pulses(50) == 51
+        with pytest.raises(ValueError):
+            theorem2_stabilization_pulses(-1)
+
+    def test_stable_skew_choices(self, timing):
+        # C = 0: per-layer Lemma 5 bound; C in {1,2,3}: (4 - C) d+.
+        c0 = stable_skew_choice(0, timing, layers=50, layer=10, num_faults=2, layer0_spread=3.0)
+        assert c0 == pytest.approx(3.0 + 10 * timing.epsilon + 2 * timing.d_max)
+        assert stable_skew_choice(1, timing, 50, 10, 2) == pytest.approx(3 * timing.d_max)
+        assert stable_skew_choice(2, timing, 50, 10, 2) == pytest.approx(2 * timing.d_max)
+        assert stable_skew_choice(3, timing, 50, 10, 2) == pytest.approx(timing.d_max)
+
+    def test_stable_skew_choice_validation(self, timing):
+        with pytest.raises(ValueError):
+            stable_skew_choice(4, timing, 50, 10, 0)
+        with pytest.raises(ValueError):
+            stable_skew_choice(0, timing, 50, 60, 0)

@@ -1,0 +1,250 @@
+"""Smoke and shape tests for the per-table / per-figure experiment harness.
+
+These run every experiment on a small configuration and assert the *shape* of
+the paper's findings (orderings, locality, bound compliance), not absolute
+numbers -- the full-scale comparison lives in the benchmark harness and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocksource.scenarios import SCENARIOS, Scenario
+from repro.experiments import EXPERIMENTS, load_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import (
+    clocktree_comparison,
+    fig05,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig17,
+    fig18,
+    table1,
+    table2,
+    table3,
+    theorem1,
+)
+from repro.faults.models import FaultType
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    """A small but non-trivial configuration shared by the smoke tests."""
+    return ExperimentConfig(layers=20, width=10, runs=4, num_pulses=5, seed=99)
+
+
+class TestRegistry:
+    def test_all_experiments_importable(self):
+        for name in EXPERIMENTS:
+            module = load_experiment(name)
+            assert callable(module.run)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            load_experiment("table99")
+
+
+class TestTables:
+    def test_table1_rows_and_ordering(self, config):
+        result = table1.run(config)
+        rows = result.rows()
+        assert len(rows) == 4
+        stats = result.statistics
+        # Scenario (iv) has by far the largest average intra-layer skew.
+        assert stats[Scenario.RAMP].intra_avg > stats[Scenario.ZERO].intra_avg
+        # Inter-layer skews have the >= d- bias in scenarios (i)-(iii).
+        for scenario in (Scenario.ZERO, Scenario.UNIFORM_DMIN, Scenario.UNIFORM_DMAX):
+            assert stats[scenario].inter_min >= config.timing.d_min - 1e-6
+        # Rendering includes both measured and paper rows.
+        text = result.render()
+        assert "measured" in text and "paper" in text
+
+    def test_table2_faults_increase_max_skew(self, config):
+        clean = table1.run(config)
+        faulty = table2.run(config)
+        for scenario in SCENARIOS:
+            assert (
+                faulty.statistics[scenario].intra_max
+                >= clean.statistics[scenario].intra_max - 1e-9
+            )
+        # A Byzantine node can trigger its neighbours early: the minimum
+        # inter-layer skew may drop below d- (as in the paper's Table 2).
+        assert faulty.statistics[Scenario.UNIFORM_DMAX].inter_min <= config.timing.d_min + 1e-6
+
+    def test_table3_matches_paper_for_paper_sigma(self, config):
+        result = table3.run(config, runs=2)
+        for scenario in SCENARIOS:
+            derived = result.from_paper_sigma[scenario].as_row()
+            paper = table3.PAPER_TABLE3[scenario]
+            for key in ("T_link_min", "T_link_max", "T_sleep_min", "T_sleep_max"):
+                assert derived[key] == pytest.approx(paper[key], abs=0.2), (scenario, key)
+        # The measured-sigma derivation produces valid, ordered timeouts.
+        for scenario in SCENARIOS:
+            timeouts = result.from_measured_sigma[scenario]
+            assert timeouts.t_link_min < timeouts.t_link_max < timeouts.t_sleep_min
+
+
+class TestWaveFigures:
+    def test_fig08_wave_is_even(self, config):
+        result = fig08.run(config)
+        summary = result.summary()
+        assert summary["layer0_spread"] == 0.0
+        assert summary["max_intra_layer_skew"] < config.timing.d_max + 1e-9
+        assert config.timing.d_min <= summary["per_layer_time"] <= config.timing.d_max
+        assert len(result.rows(truncate_layers=5)) == 6 * config.width
+
+    def test_fig09_smooths_initial_ramp(self, config):
+        result = fig09.run(config)
+        smoothing = result.smoothing_summary()
+        # The ramp reaches (W/2) d+ of initial layer-0 skew ...
+        assert smoothing["initial_layer0_skew"] >= (config.width // 2) * config.timing.d_max - 1e-9
+        # ... which the grid smooths out above the Lemma 3 horizon.
+        assert smoothing["max_skew_above_horizon"] < smoothing["max_skew_below_horizon"]
+        assert smoothing["max_skew_above_horizon"] <= config.timing.d_max + config.timing.epsilon
+
+    def test_fig10_vs_fig11_tail_shapes(self, config):
+        from repro.analysis.histograms import tail_fraction
+
+        zero = fig10.run(config)
+        ramp = fig11.run(config)
+        # Scenario (i) is concentrated: hardly any intra-layer skew above d+
+        # and little mass beyond d-.
+        assert zero.summary()["intra_frac_above_dmax"] < 0.01
+        assert tail_fraction(zero.intra_values, config.timing.d_min) < 0.02
+        # Scenario (iv) has the extra cluster near the end of the tail (close
+        # to d+) that the paper describes.
+        assert tail_fraction(ramp.intra_values, config.timing.d_min) > 0.1
+        assert tail_fraction(ramp.intra_values, config.timing.epsilon) > tail_fraction(
+            zero.intra_values, config.timing.epsilon
+        )
+        assert ramp.intra.total == zero.intra.total
+
+    def test_fig12_per_layer_smoothing(self, config):
+        result = fig12.run(config)
+        ramp_series = result.series[Scenario.RAMP]
+        early_max = ramp_series["max"][0]
+        late_max = ramp_series["max"][-1]
+        assert late_max < early_max
+        # Scenario (iv) smooths out within about W - 2 layers (Lemma 3).
+        assert result.smoothing_layer(Scenario.RAMP, tolerance=1.0) <= 2 * config.width
+        # Scenario (iii) is flat from the start: its max series stays near d+ + eps.
+        flat = result.series[Scenario.UNIFORM_DMAX]["max"]
+        assert np.nanmax(flat) <= 2 * config.timing.d_max
+
+
+class TestFaultFigures:
+    def test_fig13_fault_locality(self, config):
+        result = fig13.run(config)
+        summary = result.summary()
+        assert summary["max_skew_at_distance_1"] >= summary["max_skew_at_distance_ge_3"] - 1e-9
+        assert summary["max_intra_skew"] >= summary["max_skew_at_distance_ge_3"]
+
+    def test_fig14_five_faults_do_not_break_propagation(self, config):
+        result = fig14.run(config)
+        assert result.fault_model.num_faulty_nodes == 5
+        assert result.summary()["all_correct_triggered"] == 1.0
+
+    def test_fig15_growth_and_locality(self, config):
+        result = fig15.run(config, fault_counts=(0, 1, 3))
+        # Skews grow with f ...
+        assert result.stats(3, hops=0).intra_max >= result.stats(0, hops=0).intra_max - 1e-9
+        # ... far slower than the worst-case allowance of ~5 f d+ ...
+        growth = result.max_skew_growth(hops=0)
+        assert growth < 5 * 3 * config.timing.d_max
+        # ... and discarding the 1-hop out-neighbourhood removes most of it.
+        assert result.max_skew_growth(hops=1) <= result.max_skew_growth(hops=0) + 1e-9
+
+    def test_fig17_summary_shape(self):
+        result = fig17.run()
+        summary = result.summary()
+        assert summary["max_intra_skew_in_dmax"] >= 3.0
+        assert summary["intra_minus_inter_in_dmax"] == pytest.approx(1.0, abs=0.5)
+
+
+class TestWorstCaseAndBounds:
+    def test_fig05_focus_skew_exceeds_typical(self, config):
+        result = fig05.run()
+        summary = result.summary()
+        assert summary["focus_skew"] > 2 * result.construction.timing.d_max
+        assert summary["focus_skew"] <= summary["lemma4_bound"] + 1e-9
+
+    def test_theorem1_bounds_hold(self, config):
+        result = theorem1.run(config, runs=3)
+        assert result.holds()
+        summary = result.summary()
+        assert summary["observed_intra_max_scenario_i"] < summary["theorem1_bound_quoted_in_paper"]
+
+    def test_clocktree_comparison_shape(self):
+        result = clocktree_comparison.run(tree_levels=(2, 4), runs_per_size=2, seed=1)
+        assert result.wire_length_growth() == pytest.approx(4.0)
+        assert "tree" in result.render()
+
+
+class TestStabilizationFigures:
+    def test_fig18_conservative_bound_stabilizes_fast(self):
+        config = ExperimentConfig(layers=12, width=8, runs=3, num_pulses=5, seed=5)
+        sweep = fig18.run(
+            config,
+            fault_counts=(0, 2),
+            choices=(0, 3),
+            fault_types=(FaultType.BYZANTINE,),
+        )
+        conservative = sweep.point(0, 0, FaultType.BYZANTINE)
+        assert conservative.num_stabilized == conservative.num_runs
+        assert conservative.average <= 2.5
+        # The aggressive bound (C = 3) cannot stabilize faster than the
+        # conservative one.
+        aggressive = sweep.point(2, 3, FaultType.BYZANTINE)
+        if aggressive.num_stabilized:
+            assert aggressive.average >= conservative.average - 1e-9
+        rows = sweep.rows(FaultType.BYZANTINE)
+        assert len(rows) == 4
+        assert "Stabilization" in sweep.render()
+
+
+class TestCLI:
+    def test_list_and_simulate(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "fig15" in output
+
+        assert main([
+            "simulate", "--layers", "8", "--width", "6", "--scenario", "iii",
+            "--faults", "1", "--runs", "2", "--seed", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "intra_max" in output
+
+    def test_run_single_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig17"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 17" in output
+
+    def test_no_command_prints_help(self, capsys):
+        from repro.cli import main
+
+        assert main([]) == 1
+
+
+class TestAblation:
+    def test_fault_type_ablation_shape(self, config):
+        from repro.experiments import ablation_faulttype
+
+        result = ablation_faulttype.run(config, num_faults=2)
+        stats = result.statistics
+        assert stats["fail_silent"].intra_max >= stats["fault_free"].intra_max - 1e-9
+        assert stats["byzantine"].intra_max >= stats["fail_silent"].intra_max - 0.5
+        assert result.byzantine_excess_over_fail_silent() >= -0.5
+        assert "ablation" in result.render().lower()

@@ -1,0 +1,172 @@
+"""Tests for the Section 5 extensions: frequency multiplication and embedding."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.topology import HexGrid
+from repro.embedding.doubling import build_doubling_layout
+from repro.embedding.planar import FlattenedEmbedding, planar_wire_length_stats
+from repro.multiplication.fastclock import (
+    FrequencyMultiplier,
+    MultiplierConfig,
+    fast_clock_skew_bound,
+    measure_fast_clock_skew,
+)
+from repro.multiplication.oscillator import StartStopOscillator
+
+
+class TestOscillator:
+    def test_tick_times(self):
+        oscillator = StartStopOscillator(nominal_period=2.0, drift=1.0)
+        assert np.allclose(oscillator.ticks(10.0, 3), [12.0, 14.0, 16.0])
+
+    def test_drift_stretches_period(self):
+        oscillator = StartStopOscillator(nominal_period=2.0, drift=1.05)
+        assert oscillator.period == pytest.approx(2.1)
+
+    def test_ticks_within_window(self):
+        oscillator = StartStopOscillator(nominal_period=2.0)
+        assert len(oscillator.ticks_within(0.0, 7.0)) == 3
+        assert len(oscillator.ticks_within(0.0, 0.5)) == 0
+
+    def test_random_drift_within_theta(self, rng):
+        for _ in range(20):
+            oscillator = StartStopOscillator.with_random_drift(1.0, theta=1.05, rng=rng)
+            assert 1.0 <= oscillator.drift <= 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StartStopOscillator(nominal_period=0.0)
+        with pytest.raises(ValueError):
+            StartStopOscillator(nominal_period=1.0, drift=0.9)
+        with pytest.raises(ValueError):
+            StartStopOscillator(nominal_period=1.0).ticks(0.0, -1)
+
+
+class TestFrequencyMultiplication:
+    def test_config_window(self):
+        config = MultiplierConfig(multiplication_factor=8, nominal_period=2.0, theta=1.05)
+        assert config.min_window == pytest.approx(8 * 2.0 * 1.05)
+        assert config.effective_window == config.min_window
+        with pytest.raises(ValueError):
+            MultiplierConfig(multiplication_factor=8, nominal_period=2.0, theta=1.05, window=10.0)
+
+    def test_skew_bound_formula(self):
+        config = MultiplierConfig(multiplication_factor=4, nominal_period=2.0, theta=1.05)
+        assert fast_clock_skew_bound(3.0, config) == pytest.approx(3.0 + 0.05 * config.min_window)
+        with pytest.raises(ValueError):
+            fast_clock_skew_bound(-1.0, config)
+
+    def test_measured_skew_respects_bound(self, timing, rng):
+        grid = HexGrid(layers=10, width=8)
+        from repro.clocksource.scenarios import scenario_layer0_times
+        from repro.core.pulse_solver import solve_single_pulse
+        from repro.simulation.links import UniformRandomDelays
+
+        layer0 = scenario_layer0_times("i", grid.width, timing, rng=rng)
+        solution = solve_single_pulse(grid, layer0, UniformRandomDelays(timing, rng))
+        config = MultiplierConfig(multiplication_factor=4, nominal_period=1.0, theta=1.05)
+        multiplier = FrequencyMultiplier(grid, config, rng=rng)
+        measured_max, measured_avg = measure_fast_clock_skew(
+            grid, solution.trigger_times, multiplier
+        )
+        # HEX neighbour skew of this run:
+        from repro.analysis.skew import inter_layer_skews, intra_layer_skews
+
+        intra = intra_layer_skews(solution.trigger_times)
+        inter = np.abs(inter_layer_skews(solution.trigger_times))
+        hex_skew = float(max(np.nanmax(intra), np.nanmax(inter)))
+        assert measured_avg <= measured_max
+        assert measured_max <= fast_clock_skew_bound(hex_skew, config) + 1e-9
+
+    def test_fast_ticks_shape_and_nan_handling(self, timing, rng):
+        grid = HexGrid(layers=4, width=4)
+        config = MultiplierConfig(multiplication_factor=3, nominal_period=1.0)
+        multiplier = FrequencyMultiplier(grid, config, rng=rng)
+        times = np.zeros(grid.shape)
+        times[2, 1] = np.nan
+        ticks = multiplier.fast_ticks_from_matrix(times)
+        assert ticks.shape == (5, 4, 3)
+        assert np.all(np.isnan(ticks[2, 1, :]))
+        with pytest.raises(ValueError):
+            multiplier.fast_ticks_from_matrix(np.zeros((2, 2)))
+
+
+class TestPlanarEmbedding:
+    def test_link_lengths_are_bounded_by_a_few_pitches(self, medium_grid):
+        embedding = FlattenedEmbedding(medium_grid)
+        stats = planar_wire_length_stats(embedding)
+        assert stats["max_link_length"] <= 3.0
+        assert stats["min_link_length"] > 0.0
+        assert stats["length_ratio"] < 10.0
+
+    def test_positions_distinguish_halves(self, medium_grid):
+        embedding = FlattenedEmbedding(medium_grid)
+        assert not embedding.is_back_half(0)
+        assert embedding.is_back_half(medium_grid.width - 1)
+        front = embedding.position((3, 0))
+        back = embedding.position((3, medium_grid.width - 1))
+        # Column W-1 folds back under column 0: physically close.
+        assert abs(front[0] - back[0]) <= embedding.fold_offset + 1e-9
+
+    def test_cross_half_pairs_are_physically_close_but_grid_distant(self, medium_grid):
+        embedding = FlattenedEmbedding(medium_grid)
+        pairs = embedding.closest_cross_half_pairs(top_k=3)
+        assert len(pairs) == 3
+        for front, back, distance, hops in pairs:
+            assert distance <= 1.0
+            assert hops >= 1
+        # The interesting case: some physically adjacent pair is >= 2 grid hops apart.
+        assert max(hops for *_rest, hops in pairs) >= 2
+
+    def test_validation(self, medium_grid):
+        with pytest.raises(ValueError):
+            FlattenedEmbedding(medium_grid, pitch=0.0)
+        with pytest.raises(ValueError):
+            FlattenedEmbedding(medium_grid, fold_offset=-1.0)
+
+
+class TestDoublingLayout:
+    def test_ring_sizes_double_at_doubling_rings(self):
+        layout = build_doubling_layout(num_rings=8, initial_ring_size=4)
+        for ring in range(1, layout.num_rings):
+            ratio = layout.ring_sizes[ring] / layout.ring_sizes[ring - 1]
+            if ring in layout.doubling_rings:
+                assert ratio == 2
+            else:
+                assert ratio == 1
+        assert layout.doubling_rings  # doubling does happen
+
+    def test_doubling_becomes_less_frequent(self):
+        """Fig. 21: doubling layers become less frequent away from the centre."""
+        layout = build_doubling_layout(num_rings=16, initial_ring_size=4)
+        gaps = np.diff(layout.doubling_rings)
+        assert len(gaps) >= 1
+        assert gaps[-1] >= gaps[0]
+
+    def test_link_structure_counts(self):
+        layout = build_doubling_layout(num_rings=5, initial_ring_size=4)
+        # Every node of ring r (r < last) has exactly two out-links to ring r+1.
+        inter_ring = [
+            (s, d) for (s, d) in layout.links if d[0] == s[0] + 1
+        ]
+        expected = 2 * sum(layout.ring_sizes[:-1])
+        assert len(inter_ring) == expected
+
+    def test_wire_lengths_stay_nearly_uniform(self):
+        layout = build_doubling_layout(num_rings=12, initial_ring_size=4)
+        stats = layout.wire_length_stats()
+        assert stats["length_ratio"] < 4.0
+        assert stats["min_link_length"] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_doubling_layout(num_rings=1)
+        with pytest.raises(ValueError):
+            build_doubling_layout(num_rings=3, initial_ring_size=2)
+        with pytest.raises(ValueError):
+            build_doubling_layout(num_rings=3, target_pitch=0.0)

@@ -1,0 +1,163 @@
+"""Tests for timing parameters and the Condition 2 timeout computation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    PAPER_SIGNAL_DURATION_NS,
+    TimeoutConfig,
+    TimingConfig,
+    condition2_timeouts,
+    lambda0,
+)
+
+
+class TestTimingConfig:
+    def test_paper_defaults(self):
+        timing = TimingConfig.paper_defaults()
+        assert timing.d_min == pytest.approx(7.161)
+        assert timing.d_max == pytest.approx(8.197)
+        assert timing.epsilon == pytest.approx(1.036)
+        assert timing.theta == pytest.approx(1.05)
+
+    def test_paper_defaults_satisfy_theorem1_constraint(self):
+        # epsilon = 1.036 <= d+/7 = 1.171
+        assert TimingConfig.paper_defaults().satisfies_theorem1_constraint
+
+    def test_triangle_constraint(self):
+        assert TimingConfig(d_min=6, d_max=8).satisfies_triangle_constraint
+        assert not TimingConfig(d_min=3, d_max=8).satisfies_triangle_constraint
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingConfig(d_min=0.0, d_max=1.0)
+        with pytest.raises(ValueError):
+            TimingConfig(d_min=2.0, d_max=1.0)
+        with pytest.raises(ValueError):
+            TimingConfig(d_min=1.0, d_max=2.0, theta=0.9)
+
+    def test_from_wire_and_switching(self):
+        timing = TimingConfig.from_wire_and_switching(7.0, 8.0)
+        assert timing.d_min == pytest.approx(7.161)
+        assert timing.d_max == pytest.approx(8.197)
+
+    def test_with_uncertainty(self):
+        timing = TimingConfig.paper_defaults().with_uncertainty(0.5)
+        assert timing.epsilon == pytest.approx(0.5)
+        assert timing.d_max == pytest.approx(8.197)
+        with pytest.raises(ValueError):
+            TimingConfig.paper_defaults().with_uncertainty(100.0)
+
+    def test_scaled(self):
+        timing = TimingConfig(d_min=2.0, d_max=3.0).scaled(2.0)
+        assert timing.d_min == pytest.approx(4.0)
+        assert timing.d_max == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            TimingConfig(d_min=2.0, d_max=3.0).scaled(0.0)
+
+    def test_delay_midpoint(self):
+        assert TimingConfig(d_min=2.0, d_max=4.0).delay_midpoint == pytest.approx(3.0)
+
+
+class TestLambda0:
+    def test_definition(self):
+        # lambda0 = floor(l * d- / d+)
+        assert lambda0(10, 8.0, 10.0) == 8
+        assert lambda0(7, 7.161, 8.197) == math.floor(7 * 7.161 / 8.197)
+        assert lambda0(0, 1.0, 2.0) == 0
+
+    def test_equation_4_identity(self, timing):
+        # l - lambda0 = ceil(l * eps / d+)  (Eq. (4) of the paper)
+        for layer in range(1, 60):
+            lhs = layer - lambda0(layer, timing.d_min, timing.d_max)
+            rhs = math.ceil(layer * timing.epsilon / timing.d_max)
+            assert lhs == rhs
+
+    def test_rejects_negative_layer(self):
+        with pytest.raises(ValueError):
+            lambda0(-1, 1.0, 2.0)
+
+    def test_method_on_config(self, timing):
+        assert timing.lambda0(20) == lambda0(20, timing.d_min, timing.d_max)
+
+
+class TestCondition2:
+    def test_formula_chain(self, simple_timing):
+        timeouts = condition2_timeouts(simple_timing, stable_skew=20.0, layers=10, num_faults=2)
+        assert timeouts.t_link_min == pytest.approx(20.0 + simple_timing.epsilon)
+        assert timeouts.t_link_max == pytest.approx(1.1 * timeouts.t_link_min)
+        assert timeouts.t_sleep_min == pytest.approx(2 * timeouts.t_link_max + 2 * 10.0)
+        assert timeouts.t_sleep_max == pytest.approx(1.1 * timeouts.t_sleep_min)
+        assert timeouts.pulse_separation == pytest.approx(
+            timeouts.t_sleep_min + timeouts.t_sleep_max + simple_timing.epsilon * 10 + 2 * 10.0
+        )
+
+    @pytest.mark.parametrize(
+        "sigma, expected",
+        [
+            (28.48, {"T_link_min": 31.98, "T_link_max": 33.58, "T_sleep_min": 83.56,
+                     "T_sleep_max": 87.74, "S": 264.08}),
+            (31.16, {"T_link_min": 34.66, "T_link_max": 36.39, "T_sleep_min": 89.18,
+                     "T_sleep_max": 93.64, "S": 275.60}),
+            (31.75, {"T_link_min": 35.25, "T_link_max": 37.01, "T_sleep_min": 90.42,
+                     "T_sleep_max": 94.94, "S": 278.14}),
+            (40.64, {"T_link_min": 44.14, "T_link_max": 46.34, "T_sleep_min": 109.08,
+                     "T_sleep_max": 114.53, "S": 316.40}),
+        ],
+    )
+    def test_reproduces_table3_rows(self, timing, sigma, expected):
+        """Condition 2 + the footnote-10 signal-duration slack reproduces Table 3."""
+        timeouts = condition2_timeouts(
+            timing,
+            stable_skew=sigma,
+            layers=50,
+            num_faults=5,
+            signal_duration=PAPER_SIGNAL_DURATION_NS,
+        )
+        row = timeouts.as_row()
+        for key, value in expected.items():
+            assert row[key] == pytest.approx(value, abs=0.15), key
+
+    def test_monotonic_in_faults_and_skew(self, timing):
+        base = condition2_timeouts(timing, 20.0, layers=50, num_faults=0)
+        more_faults = condition2_timeouts(timing, 20.0, layers=50, num_faults=3)
+        more_skew = condition2_timeouts(timing, 30.0, layers=50, num_faults=0)
+        assert more_faults.pulse_separation > base.pulse_separation
+        assert more_skew.t_link_min > base.t_link_min
+        assert more_skew.pulse_separation > base.pulse_separation
+
+    def test_validation(self, timing):
+        with pytest.raises(ValueError):
+            condition2_timeouts(timing, stable_skew=0.0, layers=10)
+        with pytest.raises(ValueError):
+            condition2_timeouts(timing, stable_skew=10.0, layers=0)
+        with pytest.raises(ValueError):
+            condition2_timeouts(timing, stable_skew=10.0, layers=10, num_faults=-1)
+        with pytest.raises(ValueError):
+            condition2_timeouts(timing, stable_skew=10.0, layers=10, signal_duration=-1.0)
+        with pytest.raises(ValueError):
+            condition2_timeouts(timing, stable_skew=10.0, layers=10, theta=0.5)
+
+
+class TestTimeoutConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeoutConfig(t_link_min=0, t_link_max=1, t_sleep_min=1, t_sleep_max=2, pulse_separation=1)
+        with pytest.raises(ValueError):
+            TimeoutConfig(t_link_min=2, t_link_max=1, t_sleep_min=1, t_sleep_max=2, pulse_separation=1)
+        with pytest.raises(ValueError):
+            TimeoutConfig(t_link_min=1, t_link_max=2, t_sleep_min=3, t_sleep_max=2, pulse_separation=1)
+        with pytest.raises(ValueError):
+            TimeoutConfig(t_link_min=1, t_link_max=2, t_sleep_min=2, t_sleep_max=3, pulse_separation=0)
+
+    def test_as_row_keys(self):
+        timeouts = TimeoutConfig(
+            t_link_min=1, t_link_max=2, t_sleep_min=3, t_sleep_max=4, pulse_separation=5,
+            stable_skew=0.5,
+        )
+        row = timeouts.as_row()
+        assert set(row) == {"sigma", "T_link_min", "T_link_max", "T_sleep_min", "T_sleep_max", "S"}
+        assert row["S"] == 5

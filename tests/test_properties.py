@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import lemma4_intra_layer_bound, skew_potential, theorem1_uniform_bound
+from repro.core.parameters import TimingConfig, condition2_timeouts, lambda0
+from repro.core.pulse_solver import solve_single_pulse
+from repro.core.topology import Direction, HexGrid
+from repro.faults.models import FaultModel, NodeFault
+from repro.faults.placement import check_condition1, place_faults
+from repro.simulation.links import UniformRandomDelays
+
+# Keep the grids small so each hypothesis example stays fast.
+grid_strategy = st.builds(
+    HexGrid,
+    layers=st.integers(min_value=1, max_value=8),
+    width=st.integers(min_value=3, max_value=8),
+)
+
+timing_strategy = st.builds(
+    lambda d_min, spread: TimingConfig(d_min=d_min, d_max=d_min + spread),
+    d_min=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    spread=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+
+
+class TestTopologyProperties:
+    @given(grid=grid_strategy, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_in_out_neighbour_duality(self, grid, data):
+        """v is an out-neighbour of u iff u is an in-neighbour of v."""
+        layer = data.draw(st.integers(min_value=1, max_value=grid.layers))
+        column = data.draw(st.integers(min_value=0, max_value=grid.width - 1))
+        node = (layer, column)
+        for neighbor in grid.out_neighbors(node).values():
+            assert node in grid.in_neighbors(neighbor).values()
+        for neighbor in grid.in_neighbors(node).values():
+            assert node in grid.out_neighbors(neighbor).values()
+
+    @given(grid=grid_strategy, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_cyclic_distance_is_a_metric_on_columns(self, grid, data):
+        i = data.draw(st.integers(min_value=0, max_value=grid.width - 1))
+        j = data.draw(st.integers(min_value=0, max_value=grid.width - 1))
+        k = data.draw(st.integers(min_value=0, max_value=grid.width - 1))
+        d = grid.cyclic_column_distance
+        assert d(i, j) == d(j, i)
+        assert d(i, i) == 0
+        assert d(i, k) <= d(i, j) + d(j, k)
+        assert d(i, j) <= grid.width // 2
+
+
+class TestParameterProperties:
+    @given(timing=timing_strategy, layer=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100, deadline=None)
+    def test_lambda0_identity(self, timing, layer):
+        """l - lambda0(l) == ceil(l eps / d+) (Eq. (4)), for any legal timing.
+
+        The identity holds exactly over the reals; with floating-point inputs
+        the floor/ceil on either side can disagree when ``l d- / d+`` lands
+        within rounding distance of an integer, so such boundary draws are
+        skipped.
+        """
+        from hypothesis import assume
+
+        ratio = layer * timing.d_min / timing.d_max
+        assume(abs(ratio - round(ratio)) > 1e-6)
+        value = lambda0(layer, timing.d_min, timing.d_max)
+        assert 0 <= value <= layer
+        assert layer - value == math.ceil(layer * timing.epsilon / timing.d_max - 1e-12)
+
+    @given(
+        timing=timing_strategy,
+        sigma=st.floats(min_value=0.5, max_value=100.0),
+        faults=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_condition2_orderings(self, timing, sigma, faults):
+        """The Condition 2 timeouts are ordered and scale with their inputs."""
+        timeouts = condition2_timeouts(timing, sigma, layers=20, num_faults=faults)
+        assert timeouts.t_link_min <= timeouts.t_link_max
+        assert timeouts.t_sleep_min <= timeouts.t_sleep_max
+        assert timeouts.t_sleep_min > 2 * timeouts.t_link_max
+        assert timeouts.pulse_separation > timeouts.t_sleep_max
+
+
+class TestSkewPotentialProperties:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=3, max_size=12
+        ),
+        d_min=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nonnegative_and_shift_invariant(self, times, d_min):
+        value = skew_potential(times, d_min)
+        assert value >= 0.0
+        shifted = skew_potential(np.asarray(times) + 17.3, d_min)
+        assert shifted == pytest.approx(value, abs=1e-6)
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=3, max_size=12
+        ),
+        d_min=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_spread(self, times, d_min):
+        """Delta <= max spread of the layer times (distance term only helps)."""
+        value = skew_potential(times, d_min)
+        spread = max(times) - min(times)
+        assert value <= spread + 1e-9
+
+
+class TestSolverProperties:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        width=st.integers(min_value=4, max_value=8),
+        layers=st.integers(min_value=3, max_value=8),
+    )
+    def test_fault_free_wave_is_causal_and_complete(self, seed, width, layers):
+        """Every node fires within [l d-, l d+] of the latest source, and the
+        intra-layer skew respects the Theorem 1 bound."""
+        grid = HexGrid(layers=layers, width=width)
+        timing = TimingConfig.paper_defaults()
+        rng = np.random.default_rng(seed)
+        layer0 = rng.uniform(0.0, timing.d_max, size=width)
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(grid, layer0, delays)
+        assert solution.all_triggered()
+        t_min, t_max = layer0.min(), layer0.max()
+        for layer in range(1, layers + 1):
+            row = solution.trigger_times[layer, :]
+            assert np.all(row >= t_min + layer * timing.d_min - 1e-9)
+            assert np.all(row <= t_max + layer * timing.d_max + 1e-9)
+        # Lemma 4 with the actual layer-0 skew potential bounds every
+        # intra-layer neighbour skew.
+        delta0 = skew_potential(layer0, timing.d_min)
+        for layer in range(1, layers + 1):
+            row = solution.trigger_times[layer, :]
+            skews = np.abs(row - np.roll(row, -1))
+            assert np.all(
+                skews <= lemma4_intra_layer_bound(timing, layer, base_skew_potential=delta0) + 1e-9
+            )
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_single_byzantine_node_cannot_break_fault_free_layers_below_it(self, seed):
+        """Nodes strictly below the fault's layer are unaffected by it."""
+        grid = HexGrid(layers=6, width=6)
+        timing = TimingConfig.paper_defaults()
+        rng = np.random.default_rng(seed)
+        delays = UniformRandomDelays(timing, rng)
+        delays.materialize(grid)
+        fault_node = (4, 2)
+        model = FaultModel(
+            grid, [NodeFault.byzantine(grid, fault_node, rng=np.random.default_rng(seed + 1))]
+        )
+        layer0 = np.zeros(grid.width)
+        clean = solve_single_pulse(grid, layer0, delays)
+        faulty = solve_single_pulse(grid, layer0, delays, model)
+        below = slice(0, fault_node[0])
+        assert np.allclose(clean.trigger_times[below, :], faulty.trigger_times[below, :])
+
+
+class TestPlacementProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_faults=st.integers(min_value=1, max_value=5),
+    )
+    def test_place_faults_always_satisfies_condition1(self, seed, num_faults):
+        grid = HexGrid(layers=10, width=8)
+        rng = np.random.default_rng(seed)
+        placed = place_faults(grid, num_faults, rng)
+        assert len(placed) == num_faults
+        assert len(set(placed)) == num_faults
+        assert check_condition1(grid, placed)
+        assert all(layer > 0 for layer, _ in placed)
+
+
+class TestBoundMonotonicity:
+    @given(
+        width=st.integers(min_value=3, max_value=40),
+        spread=st.floats(min_value=0.01, max_value=1.17),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_theorem1_bound_grows_with_width_and_epsilon(self, width, spread):
+        timing = TimingConfig(d_min=8.197 - spread, d_max=8.197)
+        bound = theorem1_uniform_bound(timing, width)
+        assert bound >= timing.d_max
+        wider = theorem1_uniform_bound(timing, width + 5)
+        assert wider >= bound - 1e-12

@@ -1,0 +1,205 @@
+"""Tests for the analytic single-pulse solver."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import GuardKind
+from repro.core.pulse_solver import solve_single_pulse
+from repro.core.topology import Direction, HexGrid
+from repro.faults.models import FaultModel, LinkBehavior, NodeFault
+from repro.simulation.links import ConstantDelays, TableDelays, UniformRandomDelays
+
+
+class TestFaultFreePropagation:
+    def test_constant_delays_zero_skew(self, small_grid, simple_timing):
+        """With identical delays and aligned sources every layer fires in lockstep."""
+        delays = ConstantDelays(simple_timing.d_max)
+        solution = solve_single_pulse(small_grid, np.zeros(small_grid.width), delays)
+        for layer in range(small_grid.layers + 1):
+            expected = layer * simple_timing.d_max
+            assert np.allclose(solution.trigger_times[layer, :], expected)
+
+    def test_all_nodes_triggered_with_random_delays(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        assert solution.all_triggered()
+
+    def test_trigger_times_respect_link_delay_lower_bound(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        times = solution.trigger_times
+        for layer in range(1, medium_grid.layers + 1):
+            assert np.all(times[layer, :] >= layer * timing.d_min - 1e-9)
+            assert np.all(times[layer, :] <= layer * timing.d_max + 1e-9)
+
+    def test_every_node_fires_after_both_causal_inputs(self, medium_grid, timing, rng):
+        """The firing time equals the max of the two causal arrivals (Definition 1)."""
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        for node in medium_grid.forwarding_nodes():
+            guard = solution.guard_kind(node)
+            assert guard is not None
+            arrivals = []
+            for direction in guard.causal_directions:
+                source = medium_grid.neighbor(node, direction)
+                arrivals.append(solution.trigger_time(source) + delays.delay(source, node))
+            assert solution.trigger_time(node) == pytest.approx(max(arrivals))
+
+    def test_guard_reported_matches_definition1(self, medium_grid, timing, rng):
+        """No other guard could have fired strictly earlier than the reported one."""
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        for node in list(medium_grid.forwarding_nodes())[:50]:
+            fire_time = solution.trigger_time(node)
+            for kind in GuardKind:
+                arrivals = []
+                for direction in kind.causal_directions:
+                    source = medium_grid.neighbor(node, direction)
+                    arrivals.append(solution.trigger_time(source) + delays.delay(source, node))
+                assert max(arrivals) >= fire_time - 1e-9
+
+    def test_layer0_times_are_propagated_unchanged(self, small_grid, timing, rng):
+        layer0 = np.linspace(0.0, 3.0, small_grid.width)
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(small_grid, layer0, delays)
+        assert np.allclose(solution.layer0_times, layer0)
+        assert np.allclose(solution.trigger_times[0, :], layer0)
+
+    def test_monotone_in_layer0_times(self, small_grid, timing, rng):
+        """Delaying a source can only delay (never advance) any trigger time."""
+        delays = UniformRandomDelays(timing, rng)
+        delays.materialize(small_grid)
+        base = solve_single_pulse(small_grid, np.zeros(small_grid.width), delays)
+        shifted_layer0 = np.zeros(small_grid.width)
+        shifted_layer0[2] = 5.0
+        shifted = solve_single_pulse(small_grid, shifted_layer0, delays)
+        assert np.all(shifted.trigger_times >= base.trigger_times - 1e-9)
+
+    def test_wrong_layer0_shape_raises(self, small_grid, timing, rng):
+        with pytest.raises(ValueError):
+            solve_single_pulse(small_grid, np.zeros(3), UniformRandomDelays(timing, rng))
+
+
+class TestFaultyPropagation:
+    def test_fail_silent_node_is_nan_and_neighbours_still_fire(self, medium_grid, timing, rng):
+        fault = NodeFault.fail_silent(medium_grid, (5, 3))
+        model = FaultModel(medium_grid, [fault])
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays, model)
+        assert math.isnan(solution.trigger_time((5, 3)))
+        assert solution.all_triggered()  # all *correct* nodes fired
+
+    def test_two_adjacent_silent_nodes_starve_their_common_upper_neighbour(self, medium_grid, timing, rng):
+        """Violating Condition 1 with two silent lower neighbours blocks a node."""
+        model = FaultModel(
+            medium_grid,
+            [
+                NodeFault.fail_silent(medium_grid, (4, 3)),
+                NodeFault.fail_silent(medium_grid, (4, 4)),
+            ],
+        )
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays, model)
+        # Node (5, 3) has lower-left (4,3) and lower-right (4,4) silent, so it
+        # can only be left- or right-triggered -- which additionally requires
+        # one of the silent nodes.  It therefore never fires.
+        assert math.isinf(solution.trigger_time((5, 3)))
+
+    def test_constant_one_links_can_trigger_early(self, medium_grid, timing, rng):
+        """A Byzantine node asserting both links of a guard fires the victim at once."""
+        node = (5, 3)
+        grid = medium_grid
+        behaviors = {dest: LinkBehavior.CONSTANT_ONE for dest in grid.out_neighbors(node).values()}
+        model = FaultModel(grid, [NodeFault.byzantine(grid, node, behaviors=behaviors)])
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(grid, np.zeros(grid.width), delays, model)
+        # The right neighbour of the fault sees a stuck-at-1 left link; its
+        # left guard completes as soon as its lower-left message arrives, i.e.
+        # potentially before the fault-free schedule -- and never later.
+        victim = grid.neighbor(node, Direction.RIGHT)
+        fault_free = solve_single_pulse(grid, np.zeros(grid.width), delays)
+        assert solution.trigger_time(victim) <= fault_free.trigger_time(victim) + 1e-9
+
+    def test_byzantine_node_never_delays_far_away_nodes(self, medium_grid, timing, rng):
+        """Under Condition 1 a single Byzantine node cannot slow down remote nodes much."""
+        node = (5, 3)
+        model = FaultModel(medium_grid, [NodeFault.byzantine(medium_grid, node, rng=rng)])
+        delays = UniformRandomDelays(timing, rng)
+        delays.materialize(medium_grid)
+        faulty = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays, model)
+        clean = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        far_node = (12, 8)
+        assert faulty.trigger_time(far_node) <= clean.trigger_time(far_node) + 2 * timing.d_max
+
+    def test_crash_fault_treated_as_silent_by_solver(self, medium_grid, timing, rng):
+        model = FaultModel(medium_grid, [NodeFault.crash(medium_grid, (3, 2), crash_time=0.0)])
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays, model)
+        assert math.isnan(solution.trigger_time((3, 2)))
+
+    def test_faulty_layer0_source_is_ignored(self, medium_grid, timing, rng):
+        model = FaultModel(medium_grid, [NodeFault.fail_silent(medium_grid, (0, 4))])
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays, model)
+        assert math.isnan(solution.trigger_times[0, 4])
+        assert solution.all_triggered()
+
+    def test_mismatched_fault_model_grid_raises(self, medium_grid, small_grid, timing, rng):
+        model = FaultModel(small_grid)
+        with pytest.raises(ValueError):
+            solve_single_pulse(
+                medium_grid, np.zeros(medium_grid.width), UniformRandomDelays(timing, rng), model
+            )
+
+
+class TestSolutionAccessors:
+    def test_causal_in_neighbors(self, small_grid, simple_timing):
+        delays = ConstantDelays(simple_timing.d_min)
+        solution = solve_single_pulse(small_grid, np.zeros(small_grid.width), delays)
+        node = (3, 2)
+        causal = solution.causal_in_neighbors(node)
+        assert len(causal) == 2
+        for neighbor in causal:
+            assert neighbor in small_grid.in_neighbors(node).values()
+        assert solution.causal_in_neighbors((0, 0)) == ()
+
+    def test_finite_times_masks_inf(self, medium_grid, timing, rng):
+        model = FaultModel(
+            medium_grid,
+            [
+                NodeFault.fail_silent(medium_grid, (4, 3)),
+                NodeFault.fail_silent(medium_grid, (4, 4)),
+            ],
+        )
+        solution = solve_single_pulse(
+            medium_grid, np.zeros(medium_grid.width), UniformRandomDelays(timing, rng), model
+        )
+        finite = solution.finite_times()
+        assert np.isnan(finite[5, 3])
+
+    def test_guard_matrix_values(self, small_grid, simple_timing):
+        solution = solve_single_pulse(
+            small_grid, np.zeros(small_grid.width), ConstantDelays(simple_timing.d_min)
+        )
+        assert np.all(solution.guards[0, :] == -1)
+        assert np.all(solution.guards[1:, :] >= 0)
+
+
+class TestWorstCaseDelays:
+    def test_table_delays_shape_skews(self, simple_timing):
+        """Fast left half / slow right half yields a bounded but visible skew."""
+        grid = HexGrid(layers=8, width=8)
+        table = TableDelays({}, default=simple_timing.d_max)
+        for source, destination in grid.links():
+            if destination[1] < 4:
+                table.set(source, destination, simple_timing.d_min)
+        solution = solve_single_pulse(grid, np.zeros(grid.width), table)
+        top = solution.trigger_times[grid.layers, :]
+        assert top[0] < top[5]
+        # The coupling of the HEX rule keeps the neighbour skew of the boundary
+        # columns far below the accumulated difference of the two halves.
+        assert abs(top[4] - top[3]) < grid.layers * (simple_timing.d_max - simple_timing.d_min)

@@ -1,0 +1,159 @@
+"""Tests for causal zig-zag paths (Definitions 1-2) and the worst-case constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import TimingConfig
+from repro.core.pulse_solver import solve_single_pulse
+from repro.core.topology import HexGrid
+from repro.core.worstcase import fig17_single_byzantine_worst_case, fig5_worst_case_wave
+from repro.core.zigzag import build_left_zigzag_path, lemma2_upper_bound
+from repro.simulation.links import ConstantDelays, UniformRandomDelays
+
+
+class TestZigZagConstruction:
+    def test_path_terminates_and_is_causal(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        path = build_left_zigzag_path(solution, destination=(10, 4), target_column=6)
+        assert path.length > 0
+        assert path.destination == (10, 4)
+        assert path.is_causal(solution, timing)
+        # Terminates either triangularly in the target column or in layer 0.
+        if path.triangular:
+            assert path.origin[1] == 6
+            assert path.excess_up_left > 0
+        else:
+            assert path.origin[0] == 0
+
+    def test_link_kinds_follow_definition2(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        path = build_left_zigzag_path(solution, destination=(12, 2), target_column=3)
+        for link in path.links:
+            (sl, sc), (dl, dc) = link.source, link.destination
+            if link.kind == "rightward":
+                assert sl == dl and (sc + 1) % medium_grid.width == dc
+            else:
+                assert sl == dl - 1 and sc == (dc + 1) % medium_grid.width
+
+    def test_nodes_chain_is_contiguous(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        path = build_left_zigzag_path(solution, destination=(8, 1), target_column=2)
+        nodes = path.nodes()
+        assert nodes[0] == path.origin and nodes[-1] == path.destination
+        for link, source, destination in zip(path.links, nodes, nodes[1:]):
+            assert link.source == source and link.destination == destination
+
+    def test_lemma1_prefixes_of_triangular_paths(self, timing):
+        """With all delays d+, every node is centrally triggered, so the zig-zag
+        path is a pure diagonal and triangular; all its prefixes must be too."""
+        grid = HexGrid(layers=8, width=10)
+        solution = solve_single_pulse(grid, np.zeros(grid.width), ConstantDelays(timing.d_max))
+        path = build_left_zigzag_path(solution, destination=(6, 3), target_column=4)
+        assert path.triangular
+        assert path.num_rightward == 0
+        for length in range(1, path.length + 1):
+            prefix = path.prefix(length)
+            assert prefix.excess_up_left > 0
+
+    def test_lemma2_bound_holds_on_random_executions(self, medium_grid, timing, rng):
+        """For triangular paths, t_{l, i'} <= t_{l, i} + r d- + (l - l') eps."""
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        checked = 0
+        for destination in [(6, 2), (8, 5), (12, 7), (14, 1)]:
+            for target in range(medium_grid.width):
+                path = build_left_zigzag_path(solution, destination, target)
+                if not path.triangular or path.excess_up_left <= 0:
+                    continue
+                bound = lemma2_upper_bound(path, solution, timing)
+                end_layer = path.destination[0]
+                observed = solution.trigger_time((end_layer, path.origin[1]))
+                assert observed <= bound + 1e-9
+                checked += 1
+        assert checked > 0
+
+    def test_destination_must_be_forwarding_node(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        with pytest.raises(ValueError):
+            build_left_zigzag_path(solution, destination=(0, 3), target_column=1)
+
+    def test_prefix_validation(self, medium_grid, timing, rng):
+        delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(medium_grid, np.zeros(medium_grid.width), delays)
+        path = build_left_zigzag_path(solution, destination=(5, 3), target_column=4)
+        with pytest.raises(ValueError):
+            path.prefix(path.length + 1)
+        with pytest.raises(ValueError):
+            lemma2_upper_bound(path.prefix(0), solution, timing) if path.prefix(0).excess_up_left <= 0 else None
+
+
+class TestFig5Construction:
+    def test_structure(self, timing):
+        construction = fig5_worst_case_wave(timing)
+        assert construction.name == "fig5"
+        assert construction.focus_columns == (8, 9)
+        # Barrier column is dead in every forwarding layer.
+        barrier_nodes = [n for n in construction.fault_model.faulty_nodes() if n[1] == 16]
+        assert len(barrier_nodes) == construction.grid.layers
+
+    def test_focus_skew_far_exceeds_random_case_but_respects_lemma4(self, timing):
+        from repro.core.bounds import lemma4_intra_layer_bound, skew_potential
+
+        construction = fig5_worst_case_wave(timing)
+        solution = solve_single_pulse(
+            construction.grid,
+            construction.layer0_times,
+            construction.delays,
+            fault_model=construction.fault_model,
+        )
+        top = construction.grid.layers
+        left, right = construction.focus_columns
+        skew = abs(solution.trigger_time((top, left)) - solution.trigger_time((top, right)))
+        # Far above the d+-level skews of random executions ...
+        assert skew > 2 * timing.d_max
+        # ... close to d+ + L*eps by design ...
+        assert skew == pytest.approx(timing.d_max + top * timing.epsilon, rel=0.05)
+        # ... and below the Lemma 4 bound for the construction's layer-0 potential.
+        delta0 = skew_potential(construction.layer0_times, timing.d_min)
+        assert skew <= lemma4_intra_layer_bound(timing, top, base_skew_potential=delta0) + 1e-9
+
+    def test_parameter_validation(self, timing):
+        with pytest.raises(ValueError):
+            fig5_worst_case_wave(timing, fast_column=0)
+        with pytest.raises(ValueError):
+            fig5_worst_case_wave(timing, width=10, barrier_column=12)
+
+
+class TestFig17Construction:
+    def test_structure(self, timing):
+        construction = fig17_single_byzantine_worst_case(timing)
+        assert construction.focus_node is not None
+        assert construction.reference_fault_model is not None
+        # The Byzantine node is present on top of the barrier nodes.
+        assert construction.fault_model.num_faulty_nodes == (
+            construction.reference_fault_model.num_faulty_nodes + 1
+        )
+
+    def test_single_fault_generates_multiple_dmax_of_skew(self, timing):
+        from repro.experiments import fig17
+
+        result = fig17.run(timing)
+        d_max = timing.d_max
+        # The paper's construction reaches ~5 d+; ours reaches >= 3 d+ and the
+        # inter-layer skew is smaller by about one d+.
+        assert result.max_intra_skew >= 3 * d_max - 1e-6
+        assert result.max_intra_skew - result.max_inter_skew == pytest.approx(d_max, rel=0.2)
+        # Without the fault the same region shows only ~d+ of skew.
+        assert result.fault_free_max_intra_skew <= d_max + 1e-6
+
+    def test_parameter_validation(self, timing):
+        with pytest.raises(ValueError):
+            fig17_single_byzantine_worst_case(timing, fault_layer=0)
+        with pytest.raises(ValueError):
+            fig17_single_byzantine_worst_case(timing, fault_column=5, barrier_column=6)

@@ -39,9 +39,15 @@ repository root for the full inventory):
     The Section 5 extensions: frequency multiplication and physical embedding
     (flattened cylinder and doubling-layer topologies).
 
+``repro.campaign``
+    Parallel sweep and Monte Carlo campaign orchestration: declarative
+    :class:`~repro.campaign.spec.CampaignSpec` grids, deterministic per-run
+    seed derivation, a ``multiprocessing`` runner, flat JSON run records and
+    a resumable content-addressed on-disk cache.
+
 ``repro.experiments``
     One module per table/figure of the evaluation section, each of which
-    regenerates the corresponding rows/series.
+    regenerates the corresponding rows/series on top of ``repro.campaign``.
 
 Quickstart
 ----------

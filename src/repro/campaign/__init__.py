@@ -1,0 +1,66 @@
+"""Parallel sweep and Monte Carlo campaign orchestration.
+
+This subsystem turns the one-off serial loops of the experiment harness into
+a reusable pipeline::
+
+    spec (declarative sweep)  ->  tasks (seeded runs)  ->  records  ->  analysis
+
+* :mod:`repro.campaign.spec` -- declarative :class:`SweepSpec` /
+  :class:`CampaignSpec` grids with deterministic per-run seed derivation via
+  ``numpy.random.SeedSequence`` spawn keys.
+* :mod:`repro.campaign.runner` -- :class:`CampaignRunner` executes the
+  expanded :class:`RunTask` list in-process or on a ``multiprocessing`` pool;
+  results are independent of worker count and completion order.
+* :mod:`repro.campaign.records` -- flat, JSON-serializable
+  :class:`RunRecord` results plus the pooled aggregation helpers that feed
+  :mod:`repro.analysis`.
+* :mod:`repro.campaign.store` -- a content-addressed JSONL cache making
+  interrupted campaigns resumable and repeat invocations instant.
+* :mod:`repro.campaign.progress` -- throttled progress/ETA reporting.
+
+The per-table/per-figure experiments (``repro.experiments``) and the
+``hex-repro sweep`` / ``hex-repro simulate`` CLI run on top of this package;
+see ``DESIGN.md`` at the repository root for the subsystem inventory.
+
+Quickstart
+----------
+>>> from repro.campaign import CampaignSpec, SweepSpec, CampaignRunner
+>>> spec = CampaignSpec(
+...     name="demo",
+...     seed=7,
+...     cells=(SweepSpec(layers=10, width=8, scenario=("i", "iii"), runs=3),),
+... )
+>>> result = CampaignRunner(spec, workers=1).run()
+>>> len(result.records)
+6
+"""
+
+from __future__ import annotations
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.records import (
+    RunRecord,
+    group_by_cell,
+    group_by_point,
+    pooled_statistics,
+    stabilization_times,
+)
+from repro.campaign.runner import CampaignResult, CampaignRunner, execute_task
+from repro.campaign.spec import CampaignSpec, RunTask, SweepSpec
+from repro.campaign.store import CampaignStore
+
+__all__ = [
+    "CampaignSpec",
+    "SweepSpec",
+    "RunTask",
+    "RunRecord",
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignStore",
+    "ProgressReporter",
+    "execute_task",
+    "pooled_statistics",
+    "group_by_cell",
+    "group_by_point",
+    "stabilization_times",
+]

@@ -1,0 +1,137 @@
+"""Lightweight progress and ETA reporting for campaign runs.
+
+No dependencies, single carriage-return updated line on a stream (stderr by
+default), throttled so per-task overhead stays negligible even for thousands
+of sub-millisecond solver runs.  Disabled automatically when the stream is
+not a terminal (e.g. CI logs, piped output) unless forced.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressReporter", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human-readable duration (``"4.2s"``, ``"3m12s"``, ``"1h04m"``)."""
+    if seconds != seconds or seconds == float("inf"):  # nan or unbounded
+        return "?"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Progress/ETA line for a fixed number of tasks.
+
+    Parameters
+    ----------
+    total:
+        Total number of tasks in the campaign (cached + to-execute).
+    label:
+        Prefix shown on the line (usually the campaign name).
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+    min_interval:
+        Minimum seconds between redraws.
+    enabled:
+        Force the reporter on or off; by default it is active only when the
+        stream is a terminal.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "campaign",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.2,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty()) if callable(isatty) else False
+        self.enabled = enabled
+        self.done = 0
+        self.cached = 0
+        self._started_at: Optional[float] = None
+        self._last_render = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, cached: int = 0) -> None:
+        """Begin timing; ``cached`` tasks count as already done."""
+        self._started_at = time.monotonic()
+        self.cached = cached
+        self.done = cached
+        self._render(force=True)
+
+    def advance(self, count: int = 1) -> None:
+        """Record ``count`` newly completed tasks."""
+        self.done += count
+        self._render()
+
+    def finish(self) -> str:
+        """Final render; returns a one-line summary."""
+        summary = self.summary()
+        if self.enabled:
+            self._render(force=True)
+            self.stream.write("\n")
+            self.stream.flush()
+        return summary
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0 before it)."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def eta(self) -> float:
+        """Estimated remaining seconds, from the executed-task throughput."""
+        executed = self.done - self.cached
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if executed <= 0 or self.elapsed <= 0.0:
+            return float("inf")
+        return remaining * self.elapsed / executed
+
+    def summary(self) -> str:
+        """One-line completion summary."""
+        parts = [f"{self.label}: {self.done}/{self.total} runs"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        parts.append(f"in {format_duration(self.elapsed)}")
+        return ", ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        fraction = self.done / self.total if self.total else 1.0
+        line = (
+            f"\r{self.label}: {self.done}/{self.total} ({fraction:6.1%})"
+            f"  elapsed {format_duration(self.elapsed)}  eta {format_duration(self.eta())}"
+        )
+        self.stream.write(line)
+        self.stream.flush()

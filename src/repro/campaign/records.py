@@ -1,0 +1,279 @@
+"""Flat, JSON-serializable per-run results and their aggregation.
+
+A :class:`RunRecord` is the unit the campaign runner produces, the on-disk
+store persists and the analysis layer aggregates.  Records are deliberately
+*flat* (scalars, strings and nested lists only) so they round-trip through
+JSON lines and pickling without custom machinery, and *deterministic* given
+their task -- with the single exception of :attr:`RunRecord.wall_time_s`,
+which measures the host.  The canonical form (:meth:`RunRecord.canonical_dict`)
+therefore excludes the wall time; two executions of the same task -- serial or
+parallel, today or after a resume -- yield byte-identical canonical JSON.
+
+Aggregation mirrors the paper's pooling discipline: statistics are computed
+over the union of all per-run skew samples of a point (not averages of
+per-run statistics), which requires the dense trigger-time matrices; campaigns
+keep them by default (``CampaignSpec.keep_times``).
+
+In memory the dense payloads stay numpy arrays (no conversion cost on the hot
+path); serialization converts to nested lists and maps non-finite floats to
+the sentinel strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` so record
+files are *strict* RFC 8259 JSON lines (bare ``NaN`` tokens would be rejected
+by ``jq`` and most non-Python parsers).  :meth:`RunRecord.from_json_dict`
+decodes the sentinels back to floats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.locality import inclusion_mask
+from repro.analysis.skew import SkewStatistics
+from repro.core.topology import HexGrid, NodeId
+from repro.faults.models import FaultModel, NodeFault
+
+__all__ = [
+    "RunRecord",
+    "stand_in_fault_model",
+    "record_mask",
+    "pooled_statistics",
+    "group_by_cell",
+    "group_by_point",
+    "stabilization_times",
+]
+
+#: Schema tag written into every serialized record.
+SCHEMA = "hex-repro/run-record/v1"
+
+#: Sentinel strings for non-finite floats in strict-JSON serialization.
+_NONFINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+
+
+def _encode_json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats by their sentinel strings."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, dict):
+        return {key: _encode_json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_json_safe(item) for item in value]
+    return value
+
+
+def _decode_json_safe(value: Any) -> Any:
+    """Inverse of :func:`_encode_json_safe` (sentinel strings back to floats)."""
+    if isinstance(value, str) and value in _NONFINITE:
+        return _NONFINITE[value]
+    if isinstance(value, dict):
+        return {key: _decode_json_safe(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_json_safe(item) for item in value]
+    return value
+
+
+@dataclass
+class RunRecord:
+    """The outcome of one executed :class:`~repro.campaign.spec.RunTask`.
+
+    Attributes
+    ----------
+    key:
+        The task's content hash (cache identity).
+    kind:
+        ``"single_pulse"`` or ``"multi_pulse"``.
+    cell_index, point_index, run_index:
+        Position of the run within its campaign.
+    params:
+        Flat copy of the task parameters (grid, scenario, faults, engine,
+        seed-derivation coordinates) for self-describing result files.
+    skew:
+        Per-run skew summary row (``hops = 0``); single-pulse runs only.
+    faulty_nodes:
+        The ``(layer, column)`` positions of the run's faulty nodes.
+    trigger_times:
+        Dense ``(L + 1, W)`` trigger-time matrix (``inf`` for never-fired,
+        ``nan`` for faulty nodes) -- a numpy array when produced by the
+        executor, nested lists after a JSON round trip; ``None`` when the
+        campaign dropped dense payloads.
+    layer0_times:
+        The layer-0 firing times of the run (single-pulse, dense payload).
+    stabilization_time:
+        Estimated stabilization pulse (1-based; ``NaN`` when the run did not
+        stabilize); multi-pulse runs only.
+    total_firings:
+        Total firings across all correct nodes; multi-pulse runs only.
+    wall_time_s:
+        Host execution time; excluded from the canonical form.
+    """
+
+    key: str
+    kind: str
+    cell_index: int
+    point_index: int
+    run_index: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    skew: Optional[Dict[str, float]] = None
+    faulty_nodes: Tuple[Tuple[int, int], ...] = ()
+    trigger_times: Optional[Union[np.ndarray, List[List[float]]]] = None
+    layer0_times: Optional[Union[np.ndarray, List[float]]] = None
+    stabilization_time: Optional[float] = None
+    total_firings: Optional[int] = None
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # dense-payload accessors
+    # ------------------------------------------------------------------
+    def trigger_matrix(self) -> np.ndarray:
+        """The trigger-time matrix as a float array."""
+        if self.trigger_times is None:
+            raise ValueError(
+                "record carries no dense trigger times (campaign ran with keep_times=False)"
+            )
+        return np.asarray(self.trigger_times, dtype=float)
+
+    def make_grid(self) -> HexGrid:
+        """The grid the run used (reconstructed from the recorded parameters)."""
+        return HexGrid(layers=int(self.params["layers"]), width=int(self.params["width"]))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable representation (including wall time)."""
+        payload = self.canonical_dict()
+        payload["wall_time_s"] = self.wall_time_s
+        return payload
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic part of the record (drops :attr:`wall_time_s`).
+
+        Strict-JSON safe: dense arrays become nested lists and non-finite
+        floats their sentinel strings.
+        """
+        trigger_times = (
+            np.asarray(self.trigger_times, dtype=float).tolist()
+            if self.trigger_times is not None
+            else None
+        )
+        layer0_times = (
+            np.asarray(self.layer0_times, dtype=float).tolist()
+            if self.layer0_times is not None
+            else None
+        )
+        return _encode_json_safe(
+            {
+                "schema": SCHEMA,
+                "key": self.key,
+                "kind": self.kind,
+                "cell_index": self.cell_index,
+                "point_index": self.point_index,
+                "run_index": self.run_index,
+                "params": dict(self.params),
+                "skew": dict(self.skew) if self.skew is not None else None,
+                "faulty_nodes": [list(node) for node in self.faulty_nodes],
+                "trigger_times": trigger_times,
+                "layer0_times": layer0_times,
+                "stabilization_time": self.stabilization_time,
+                "total_firings": self.total_firings,
+            }
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical JSON line; byte-identical across re-executions of the task."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from its (canonical or full) JSON representation."""
+        payload = _decode_json_safe(payload)
+        return cls(
+            key=payload["key"],
+            kind=payload["kind"],
+            cell_index=int(payload["cell_index"]),
+            point_index=int(payload["point_index"]),
+            run_index=int(payload["run_index"]),
+            params=dict(payload.get("params", {})),
+            skew=dict(payload["skew"]) if payload.get("skew") is not None else None,
+            faulty_nodes=tuple(
+                (int(layer), int(column)) for layer, column in payload.get("faulty_nodes", [])
+            ),
+            trigger_times=payload.get("trigger_times"),
+            layer0_times=payload.get("layer0_times"),
+            stabilization_time=payload.get("stabilization_time"),
+            total_firings=payload.get("total_firings"),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+        )
+
+
+# ----------------------------------------------------------------------
+# aggregation helpers (feeding repro.analysis)
+# ----------------------------------------------------------------------
+def stand_in_fault_model(grid: HexGrid, positions: Iterable[NodeId]) -> Optional[FaultModel]:
+    """A placement-only fault model rebuilt from recorded fault positions.
+
+    Records do not persist per-link fault behaviour (it influenced the
+    simulation, not the analysis); correctness and h-hop exclusion masks
+    depend only on *where* the faults sat, so a fail-silent stand-in produces
+    masks identical to the original model's.
+    """
+    faults = [NodeFault.fail_silent(grid, node) for node in positions]
+    if not faults:
+        return None
+    return FaultModel(grid, faults)
+
+
+def record_mask(record: RunRecord, hops: int = 0) -> Optional[np.ndarray]:
+    """The inclusion mask of one record for a given fault-exclusion radius."""
+    if not record.faulty_nodes:
+        return None
+    grid = record.make_grid()
+    return inclusion_mask(grid, stand_in_fault_model(grid, record.faulty_nodes), hops=hops)
+
+
+def pooled_statistics(records: Sequence[RunRecord], hops: int = 0) -> SkewStatistics:
+    """Pooled skew statistics over a set of single-pulse records.
+
+    This is the paper's set-level aggregation: all per-run intra-/inter-layer
+    samples are pooled before the operators are applied, exactly as
+    ``RunSetResult.statistics`` did for the historical serial loops.
+    """
+    if not records:
+        raise ValueError("at least one record is required")
+    runs = [record.trigger_matrix() for record in records]
+    masks = [record_mask(record, hops=hops) for record in records]
+    return SkewStatistics.from_runs(runs, masks)
+
+
+def group_by_cell(records: Iterable[RunRecord]) -> Dict[int, List[RunRecord]]:
+    """Records grouped by cell index (insertion-ordered, runs in task order)."""
+    grouped: Dict[int, List[RunRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.cell_index, []).append(record)
+    return grouped
+
+
+def group_by_point(records: Iterable[RunRecord]) -> Dict[Tuple[int, int], List[RunRecord]]:
+    """Records grouped by ``(cell_index, point_index)``."""
+    grouped: Dict[Tuple[int, int], List[RunRecord]] = {}
+    for record in records:
+        grouped.setdefault((record.cell_index, record.point_index), []).append(record)
+    return grouped
+
+
+def stabilization_times(records: Sequence[RunRecord]) -> np.ndarray:
+    """Per-run stabilization estimates of a set of multi-pulse records."""
+    times = np.full(len(records), np.nan, dtype=float)
+    for index, record in enumerate(records):
+        if record.stabilization_time is not None:
+            times[index] = float(record.stabilization_time)
+    return times

@@ -1,0 +1,380 @@
+"""Campaign execution: serial or multiprocessing fan-out over run tasks.
+
+:func:`execute_task` is the single entry point that turns a
+:class:`~repro.campaign.spec.RunTask` into a
+:class:`~repro.campaign.records.RunRecord`.  It reproduces the historical
+per-run bodies of the experiment harness exactly -- same generator, same
+draw order (layer-0 times, fault placement, fault behaviour, link delays for
+single-pulse runs; fault placement, pulse schedule, simulation draws for
+multi-pulse runs) -- and then calls the existing
+:func:`repro.simulation.runner.simulate_single_pulse` /
+:func:`repro.simulation.runner.simulate_multi_pulse` entry points.  Because a
+task rebuilds its generator from ``(entropy, run_index)`` alone, the result
+is independent of which process executes it and in which order: a campaign
+run with ``workers=8`` produces canonically byte-identical records to a
+serial run.
+
+:class:`CampaignRunner` expands a spec, consults the optional on-disk store
+for already-completed tasks (``resume=True``), executes the remainder either
+in-process or on a ``multiprocessing`` pool, persists results as they
+complete (so an interrupted campaign resumes where it stopped) and returns
+the records in deterministic task order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.skew import SkewStatistics
+from repro.analysis.stabilization import stabilization_time
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.records import (
+    RunRecord,
+    group_by_point,
+    pooled_statistics,
+    stabilization_times,
+)
+from repro.campaign.spec import CampaignSpec, RunTask
+from repro.campaign.store import CampaignStore
+from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
+from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_layer0_times
+from repro.core.bounds import stable_skew_choice
+from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
+from repro.faults.models import FaultType
+from repro.faults.placement import build_fault_model
+from repro.simulation.network import TimerPolicy
+from repro.simulation.runner import simulate_multi_pulse, simulate_single_pulse
+
+__all__ = ["execute_task", "CampaignResult", "CampaignRunner"]
+
+
+def _scenario_layer0_spread(scenario: Scenario, width: int, timing: TimingConfig) -> float:
+    """Maximum layer-0 spread of a scenario (the C = 0 bound's ``t_max - t_min``)."""
+    return {
+        Scenario.ZERO: 0.0,
+        Scenario.UNIFORM_DMIN: timing.d_min,
+        Scenario.UNIFORM_DMAX: timing.d_max,
+        Scenario.RAMP: (width // 2) * timing.d_max,
+    }[scenario]
+
+
+def _default_stabilization_timeouts(
+    scenario: Scenario, width: int, layers: int, num_faults: int, timing: TimingConfig
+) -> TimeoutConfig:
+    """Condition 2 timeouts from the conservative Lemma 5 stable-skew bound.
+
+    Mirrors :func:`repro.experiments.stability.scenario_timeouts` without
+    depending on the experiments layer.
+    """
+    spread = _scenario_layer0_spread(scenario, width, timing)
+    stable_skew = spread + timing.epsilon * layers + num_faults * timing.d_max
+    return condition2_timeouts(
+        timing, stable_skew=stable_skew, layers=layers, num_faults=num_faults
+    )
+
+
+def _execute_single_pulse(task: RunTask) -> RunRecord:
+    grid = task.make_grid()
+    timing = task.make_timing()
+    rng = task.rng()
+    scenario = parse_scenario(task.scenario)
+    fault_type = FaultType(task.fault_type) if task.fault_type is not None else None
+
+    # Draw order is the reproducibility contract: layer-0 times, then fault
+    # placement and behaviour, then link delays (inside simulate_single_pulse).
+    layer0 = scenario_layer0_times(scenario, grid.width, timing, rng=rng)
+    fault_model = build_fault_model(
+        grid, task.num_faults, fault_type, rng, fixed_positions=task.fixed_fault_positions
+    )
+    result = simulate_single_pulse(
+        grid,
+        timing,
+        layer0,
+        rng=rng,
+        fault_model=fault_model,
+        engine=task.engine,
+        timer_policy=TimerPolicy(task.timer_policy),
+    )
+
+    mask = fault_model.correctness_mask() if fault_model is not None else None
+    skew_row = SkewStatistics.from_times(result.trigger_times, mask).as_row()
+    faulty = tuple(fault_model.faulty_nodes()) if fault_model is not None else ()
+    return RunRecord(
+        key=task.key(),
+        kind=task.kind,
+        cell_index=task.cell_index,
+        point_index=task.point_index,
+        run_index=task.run_index,
+        params=task.to_json_dict(),
+        skew=skew_row,
+        faulty_nodes=faulty,
+        trigger_times=result.trigger_times if task.keep_times else None,
+        layer0_times=layer0 if task.keep_times else None,
+    )
+
+
+def _execute_multi_pulse(task: RunTask) -> RunRecord:
+    grid = task.make_grid()
+    timing = task.make_timing()
+    rng = task.rng()
+    scenario = parse_scenario(task.scenario)
+    fault_type = FaultType(task.fault_type) if task.fault_type is not None else None
+
+    # Draw order: fault placement and behaviour, then the pulse schedule, then
+    # the simulation's own draws (initial states, timers, per-message delays).
+    fault_model = build_fault_model(
+        grid, task.num_faults, fault_type, rng, fixed_positions=task.fixed_fault_positions
+    )
+    timeouts = task.make_timeouts()
+    if timeouts is None:
+        timeouts = _default_stabilization_timeouts(
+            scenario, grid.width, grid.layers, task.num_faults, timing
+        )
+    schedule = generate_pulse_schedule(
+        PulseScheduleConfig(
+            scenario=scenario,
+            num_pulses=task.num_pulses,
+            separation=timeouts.pulse_separation,
+        ),
+        grid.width,
+        timing,
+        rng=rng,
+    )
+    result = simulate_multi_pulse(
+        grid,
+        timing,
+        timeouts,
+        schedule,
+        rng=rng,
+        fault_model=fault_model,
+        random_initial_states=True,
+        timer_policy=TimerPolicy(task.timer_policy),
+    )
+
+    layer0_spread = _scenario_layer0_spread(scenario, grid.width, timing)
+
+    def intra_bound(layer: int) -> float:
+        return stable_skew_choice(
+            task.skew_choice,
+            timing,
+            grid.layers,
+            layer,
+            task.num_faults,
+            layer0_spread=layer0_spread,
+        )
+
+    estimate = stabilization_time(result, intra_bound)
+    faulty = tuple(fault_model.faulty_nodes()) if fault_model is not None else ()
+    return RunRecord(
+        key=task.key(),
+        kind=task.kind,
+        cell_index=task.cell_index,
+        point_index=task.point_index,
+        run_index=task.run_index,
+        params=task.to_json_dict(),
+        faulty_nodes=faulty,
+        stabilization_time=float(estimate) if estimate is not None else float("nan"),
+        total_firings=result.total_firings(),
+    )
+
+
+def execute_task(task: RunTask) -> RunRecord:
+    """Execute one run task and return its record.
+
+    Deterministic given the task (except for the recorded wall time), whatever
+    process runs it -- the foundation of the serial/parallel equality and of
+    the resumable cache.
+    """
+    start = time.perf_counter()
+    if task.kind == "single_pulse":
+        record = _execute_single_pulse(task)
+    elif task.kind == "multi_pulse":
+        record = _execute_multi_pulse(task)
+    else:
+        raise ValueError(f"unknown task kind {task.kind!r}")
+    record.wall_time_s = time.perf_counter() - start
+    return record
+
+
+def _execute_indexed(indexed: Tuple[int, RunTask]) -> Tuple[int, RunRecord]:
+    """Pool-friendly wrapper keeping each record paired with its task index."""
+    index, task = indexed
+    return index, execute_task(task)
+
+
+@dataclass
+class CampaignResult:
+    """The outcome of a campaign run.
+
+    Attributes
+    ----------
+    spec:
+        The executed specification.
+    records:
+        One record per task, in deterministic task order (cells, then points,
+        then run indices).
+    executed, cached:
+        How many tasks were simulated vs served from the store.
+    wall_time_s:
+        End-to-end campaign wall time.
+    """
+
+    spec: CampaignSpec
+    records: List[RunRecord] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    wall_time_s: float = 0.0
+
+    def records_for(
+        self, cell_index: Optional[int] = None, point_index: Optional[int] = None
+    ) -> List[RunRecord]:
+        """Records filtered by cell and/or point index."""
+        return [
+            record
+            for record in self.records
+            if (cell_index is None or record.cell_index == cell_index)
+            and (point_index is None or record.point_index == point_index)
+        ]
+
+    def point_statistics(
+        self, cell_index: int, point_index: int, hops: int = 0
+    ) -> SkewStatistics:
+        """Pooled skew statistics of one grid point (single-pulse campaigns)."""
+        return pooled_statistics(self.records_for(cell_index, point_index), hops=hops)
+
+    def point_stabilization_times(self, cell_index: int, point_index: int) -> np.ndarray:
+        """Per-run stabilization estimates of one point (multi-pulse campaigns)."""
+        return stabilization_times(self.records_for(cell_index, point_index))
+
+    def grouped(self) -> Dict[Tuple[int, int], List[RunRecord]]:
+        """Records grouped by ``(cell_index, point_index)``."""
+        return group_by_point(self.records)
+
+
+class CampaignRunner:
+    """Expand a campaign spec and execute it, serially or on a process pool.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    workers:
+        Number of worker processes; ``1`` executes in-process (no pool).
+    store:
+        Optional on-disk result cache -- a :class:`CampaignStore` or a
+        directory path.  Completed records are appended as they arrive, so an
+        interrupted campaign leaves a valid shard behind.
+    resume:
+        Reuse records already present in the store instead of re-simulating
+        them.  Without ``resume`` an existing shard is overwritten.
+    progress:
+        ``True`` for a stderr progress/ETA line, a ready-made
+        :class:`ProgressReporter`, or ``None``/``False`` for silence.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workers: int = 1,
+        store: Optional[Union[CampaignStore, str]] = None,
+        resume: bool = False,
+        progress: Union[bool, ProgressReporter, None] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        if store is not None and not isinstance(store, CampaignStore):
+            store = CampaignStore(store)
+        self.store = store
+        if resume and store is None:
+            raise ValueError("resume=True requires a store")
+        self.resume = resume
+        if progress is True:
+            progress = ProgressReporter(total=spec.num_tasks, label=spec.name)
+        elif progress is False:
+            progress = None
+        self.progress = progress
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return its ordered records."""
+        start = time.perf_counter()
+        tasks = self.spec.tasks()
+
+        cached: Dict[str, RunRecord] = {}
+        if self.store is not None and self.resume:
+            cached = self.store.load(self.spec)
+
+        by_index: Dict[int, RunRecord] = {}
+        pending: List[Tuple[int, RunTask]] = []
+        for index, task in enumerate(tasks):
+            # Hashing every task is only worthwhile when there is a cache to
+            # probe; the executor stamps record keys itself.
+            hit = cached.get(task.key()) if cached else None
+            if hit is not None:
+                # Serve each hit as an independent copy with the *current*
+                # campaign coordinates: a task may have moved cells between
+                # spec revisions, and two tasks with equal content keys
+                # (cells differing only in label) must not alias one record.
+                by_index[index] = dataclasses.replace(
+                    hit,
+                    cell_index=task.cell_index,
+                    point_index=task.point_index,
+                    run_index=task.run_index,
+                    params=task.to_json_dict(),
+                )
+            else:
+                pending.append((index, task))
+
+        if self.progress is not None:
+            self.progress.start(cached=len(by_index))
+
+        result = CampaignResult(spec=self.spec, cached=len(by_index))
+        writer_ctx = (
+            self.store.open_writer(self.spec, append=self.resume)
+            if self.store is not None
+            else None
+        )
+        try:
+            for index, record in self._execute_pending(pending):
+                by_index[index] = record
+                result.executed += 1
+                if writer_ctx is not None:
+                    writer_ctx.append(record)
+                if self.progress is not None:
+                    self.progress.advance()
+        finally:
+            if writer_ctx is not None:
+                writer_ctx.close()
+            if self.progress is not None:
+                self.progress.finish()
+
+        result.records = [by_index[index] for index in range(len(tasks))]
+        result.wall_time_s = time.perf_counter() - start
+        return result
+
+    def _execute_pending(self, pending: Sequence[Tuple[int, RunTask]]):
+        """Yield ``(index, record)`` pairs as tasks complete."""
+        if not pending:
+            return
+        if self.workers == 1 or len(pending) == 1:
+            for index, task in pending:
+                # Looked up through the module so tests can monkeypatch the
+                # executor for fault-injection and resume accounting.
+                yield index, execute_task(task)
+            return
+        import multiprocessing
+
+        workers = min(self.workers, len(pending))
+        chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for index, record in pool.imap_unordered(
+                _execute_indexed, pending, chunksize=chunksize
+            ):
+                yield index, record

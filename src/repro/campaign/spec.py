@@ -1,0 +1,530 @@
+"""Declarative campaign specifications and their expansion into run tasks.
+
+A *campaign* is a reproducible batch of independent simulation runs: Monte
+Carlo repetitions of the paper's single-pulse and stabilization experiments
+swept over grid sizes, scenarios, fault counts/types, engines and timer
+policies.  The specification layer is purely declarative -- it never runs a
+simulation -- so that specs can be hashed (for the on-disk result cache),
+serialized to JSON (for the ``hex-repro sweep`` CLI) and shipped to worker
+processes.
+
+Three levels:
+
+* :class:`SweepSpec` -- one *cell*: a cartesian grid over the sweep axes
+  (``layers``, ``width``, ``scenario``, ``num_faults``, ``fault_type``,
+  ``engine``, ``timer_policy``) plus per-cell scalars (run count, seed salt,
+  workload kind).  Cells exist so that a campaign can combine points whose
+  seed streams must *not* follow the cartesian enumeration -- e.g. the
+  fault-type ablation deliberately reuses one salt for two fault types to get
+  identical fault placements.
+
+* :class:`CampaignSpec` -- a named collection of cells sharing a base seed and
+  timing configuration.
+
+* :class:`RunTask` -- one fully-resolved simulation run.  Expansion is
+  deterministic: cell ``c``'s point ``p`` gets seed salt
+  ``c.seed_salt + p`` and its run ``r`` draws its generator from
+  ``SeedSequence(entropy=seed + salt, spawn_key=(r,))``.  This is *exactly*
+  the stream produced by ``ExperimentConfig.spawn_rngs(runs, salt)`` (NumPy
+  spawns child ``r`` of a sequence as ``spawn_key=(r,)``), so campaign results
+  are bit-identical to the historical serial loops -- and every task can
+  rebuild its generator alone, which is what makes process fan-out safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.clocksource.scenarios import Scenario, parse_scenario
+from repro.core.parameters import TimeoutConfig, TimingConfig
+from repro.core.topology import HexGrid, NodeId
+from repro.faults.models import FaultType
+from repro.simulation.network import TimerPolicy
+
+__all__ = [
+    "ENGINES",
+    "KINDS",
+    "SweepSpec",
+    "SweepPoint",
+    "CampaignSpec",
+    "RunTask",
+    "canonical_json",
+    "content_key",
+]
+
+#: Supported execution engines for single-pulse tasks.
+ENGINES = ("solver", "des")
+
+#: Supported workload kinds.
+KINDS = ("single_pulse", "multi_pulse")
+
+#: Order of the sweep axes; fixes the cartesian enumeration (and therefore the
+#: per-point seed salts) of a cell.
+AXES = (
+    "layers",
+    "width",
+    "scenario",
+    "num_faults",
+    "fault_type",
+    "engine",
+    "timer_policy",
+)
+
+
+def canonical_json(payload: Any) -> str:
+    """A canonical (sorted-keys, compact) JSON encoding used for hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Any, length: int = 32) -> str:
+    """Content-address of a JSON-serializable payload (truncated SHA-256)."""
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return digest[:length]
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    """Coerce a scalar or sequence axis value to a tuple (strings stay scalar)."""
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, (list, range)):
+        return tuple(value)
+    return (value,)
+
+
+def _canonical_scenario(value: Union[Scenario, str]) -> str:
+    return parse_scenario(value).value
+
+
+def _canonical_fault_type(value: Union[FaultType, str]) -> str:
+    if isinstance(value, FaultType):
+        return value.value
+    return FaultType(str(value)).value
+
+
+def _canonical_timer_policy(value: Union[TimerPolicy, str]) -> str:
+    if isinstance(value, TimerPolicy):
+        return value.value
+    return TimerPolicy(str(value)).value
+
+
+def _canonical_positions(
+    value: Optional[Sequence[NodeId]],
+) -> Optional[Tuple[Tuple[int, int], ...]]:
+    if value is None:
+        return None
+    return tuple((int(layer), int(column)) for layer, column in value)
+
+
+def _canonical_timeouts(
+    value: Optional[Union[TimeoutConfig, Sequence[float]]]
+) -> Optional[Tuple[float, ...]]:
+    if value is None:
+        return None
+    if isinstance(value, TimeoutConfig):
+        return (
+            value.t_link_min,
+            value.t_link_max,
+            value.t_sleep_min,
+            value.t_sleep_max,
+            value.pulse_separation,
+            value.stable_skew,
+        )
+    items = tuple(float(item) for item in value)
+    if len(items) != 6:
+        raise ValueError(f"explicit timeouts need 6 values, got {len(items)}")
+    return items
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One campaign cell: a cartesian sweep plus per-cell run parameters.
+
+    Axis attributes accept a scalar or a sequence and are normalised to
+    tuples; enum-valued axes are stored as their canonical string values so
+    cells serialize to JSON unchanged.
+
+    Attributes
+    ----------
+    layers, width, scenario, num_faults, fault_type, engine, timer_policy:
+        The sweep axes, combined cartesian-product style in :data:`AXES`
+        order.  ``fault_type`` and ``engine`` are ignored by points with
+        ``num_faults == 0`` and ``kind == "multi_pulse"`` respectively.
+    runs:
+        Monte Carlo repetitions per point.
+    seed_salt:
+        Base salt of the cell; point ``p`` uses ``seed_salt + p``.
+    kind:
+        ``"single_pulse"`` (skew experiments) or ``"multi_pulse"``
+        (stabilization experiments).
+    num_pulses, skew_choice:
+        Multi-pulse parameters: pulses per run and the ``C in {0..3}``
+        skew-bound choice of the stabilization estimate.
+    fixed_fault_positions:
+        Optional deterministic fault placement (otherwise placed uniformly at
+        random under Condition 1, freshly per run).
+    timeouts:
+        Optional explicit timeout override for multi-pulse runs, as a
+        6-tuple ``(T-_link, T+_link, T-_sleep, T+_sleep, S, sigma)``.
+    label:
+        Free-form tag carried through to the records (e.g. ``"byzantine"``).
+    """
+
+    layers: Tuple[int, ...] = (50,)
+    width: Tuple[int, ...] = (20,)
+    scenario: Tuple[str, ...] = (Scenario.ZERO.value,)
+    num_faults: Tuple[int, ...] = (0,)
+    fault_type: Tuple[str, ...] = (FaultType.BYZANTINE.value,)
+    engine: Tuple[str, ...] = ("solver",)
+    timer_policy: Tuple[str, ...] = (TimerPolicy.UNIFORM.value,)
+    runs: int = 25
+    seed_salt: int = 0
+    kind: str = "single_pulse"
+    num_pulses: int = 10
+    skew_choice: int = 0
+    fixed_fault_positions: Optional[Tuple[Tuple[int, int], ...]] = None
+    timeouts: Optional[Tuple[float, ...]] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        coerce(self, "layers", tuple(int(v) for v in _as_tuple(self.layers)))
+        coerce(self, "width", tuple(int(v) for v in _as_tuple(self.width)))
+        coerce(
+            self,
+            "scenario",
+            tuple(_canonical_scenario(v) for v in _as_tuple(self.scenario)),
+        )
+        coerce(self, "num_faults", tuple(int(v) for v in _as_tuple(self.num_faults)))
+        coerce(
+            self,
+            "fault_type",
+            tuple(_canonical_fault_type(v) for v in _as_tuple(self.fault_type)),
+        )
+        coerce(self, "engine", tuple(str(v) for v in _as_tuple(self.engine)))
+        coerce(
+            self,
+            "timer_policy",
+            tuple(_canonical_timer_policy(v) for v in _as_tuple(self.timer_policy)),
+        )
+        coerce(self, "fixed_fault_positions", _canonical_positions(self.fixed_fault_positions))
+        coerce(self, "timeouts", _canonical_timeouts(self.timeouts))
+        for axis in AXES:
+            if not getattr(self, axis):
+                raise ValueError(f"axis {axis!r} must have at least one value")
+        for engine in self.engine:
+            if engine not in ENGINES:
+                raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.num_pulses < 1:
+            raise ValueError(f"num_pulses must be >= 1, got {self.num_pulses}")
+        if self.skew_choice not in (0, 1, 2, 3):
+            raise ValueError(f"skew_choice must be in 0..3, got {self.skew_choice}")
+        if any(count < 0 for count in self.num_faults):
+            raise ValueError("num_faults values must be non-negative")
+
+    @property
+    def num_points(self) -> int:
+        """Number of grid points in this cell."""
+        total = 1
+        for axis in AXES:
+            total *= len(getattr(self, axis))
+        return total
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of run tasks this cell expands to."""
+        return self.num_points * self.runs
+
+    def points(self) -> Iterator["SweepPoint"]:
+        """Expand the cartesian grid in :data:`AXES` order.
+
+        Point ``p`` (enumeration index) receives seed salt
+        ``seed_salt + p``, matching the historical ``seed_salt + index``
+        idiom of the per-figure sweeps.  Salts are therefore *positional*:
+        appending to the innermost axes reshuffles later points' seeds (and
+        their cache identities).  To grow a campaign while reusing completed
+        runs, raise ``runs``, extend the outermost varied axis, or append a
+        new cell with a fresh ``seed_salt``.
+        """
+        axis_values = [getattr(self, axis) for axis in AXES]
+        for point_index, combo in enumerate(itertools.product(*axis_values)):
+            values = dict(zip(AXES, combo))
+            yield SweepPoint(
+                point_index=point_index,
+                salt=self.seed_salt + point_index,
+                runs=self.runs,
+                kind=self.kind,
+                num_pulses=self.num_pulses,
+                skew_choice=self.skew_choice,
+                fixed_fault_positions=self.fixed_fault_positions,
+                timeouts=self.timeouts,
+                label=self.label,
+                **values,
+            )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (tuples become lists)."""
+        payload: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, tuple):
+                value = [list(item) if isinstance(item, tuple) else item for item in value]
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_json_dict` (unknown keys rejected)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SweepSpec fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved grid point of a cell (all axes collapsed to scalars)."""
+
+    point_index: int
+    salt: int
+    runs: int
+    kind: str
+    layers: int
+    width: int
+    scenario: str
+    num_faults: int
+    fault_type: str
+    engine: str
+    timer_policy: str
+    num_pulses: int
+    skew_choice: int
+    fixed_fault_positions: Optional[Tuple[Tuple[int, int], ...]]
+    timeouts: Optional[Tuple[float, ...]]
+    label: str
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, seeded collection of sweep cells.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier; used in cache shard names and reports.
+    cells:
+        The sweep cells, expanded in order.
+    seed:
+        Base seed; a task's stream entropy is ``seed + cell.seed_salt +
+        point_index`` (see module docstring).
+    timing:
+        Delay bounds and drift shared by all cells.
+    keep_times:
+        Whether records retain the dense trigger-time matrices (needed for
+        pooled statistics and h-hop locality analysis; disable for huge
+        Monte Carlo campaigns where per-run summary rows suffice).
+    """
+
+    name: str
+    cells: Tuple[SweepSpec, ...]
+    seed: int = 2013
+    timing: TimingConfig = field(default_factory=TimingConfig.paper_defaults)
+    keep_times: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        cells = tuple(
+            cell if isinstance(cell, SweepSpec) else SweepSpec.from_json_dict(cell)
+            for cell in _as_tuple(self.cells)
+        )
+        if not cells:
+            raise ValueError("a campaign needs at least one cell")
+        object.__setattr__(self, "cells", cells)
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Total number of run tasks across all cells."""
+        return sum(cell.num_tasks for cell in self.cells)
+
+    def tasks(self) -> List["RunTask"]:
+        """Expand the campaign into its full, deterministically ordered task list."""
+        result: List[RunTask] = []
+        for cell_index, cell in enumerate(self.cells):
+            for point in cell.points():
+                fault_type = point.fault_type if point.num_faults > 0 else None
+                for run_index in range(point.runs):
+                    result.append(
+                        RunTask(
+                            kind=point.kind,
+                            layers=point.layers,
+                            width=point.width,
+                            d_min=self.timing.d_min,
+                            d_max=self.timing.d_max,
+                            theta=self.timing.theta,
+                            scenario=point.scenario,
+                            num_faults=point.num_faults,
+                            fault_type=fault_type,
+                            engine=point.engine,
+                            timer_policy=point.timer_policy,
+                            num_pulses=point.num_pulses,
+                            skew_choice=point.skew_choice,
+                            fixed_fault_positions=point.fixed_fault_positions,
+                            timeouts=point.timeouts,
+                            keep_times=self.keep_times,
+                            entropy=self.seed + point.salt,
+                            run_index=run_index,
+                            cell_index=cell_index,
+                            point_index=point.point_index,
+                            label=point.label,
+                        )
+                    )
+        return result
+
+    # ------------------------------------------------------------------
+    # serialization & hashing
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation of the whole campaign."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "timing": {
+                "d_min": self.timing.d_min,
+                "d_max": self.timing.d_max,
+                "theta": self.timing.theta,
+            },
+            "keep_times": self.keep_times,
+            "cells": [cell.to_json_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_json_dict`."""
+        missing = [key for key in ("name", "cells") if key not in payload]
+        if missing:
+            raise ValueError(f"campaign spec is missing required keys: {missing}")
+        timing_payload = payload.get("timing")
+        timing = (
+            TimingConfig(**timing_payload)
+            if timing_payload is not None
+            else TimingConfig.paper_defaults()
+        )
+        return cls(
+            name=payload["name"],
+            seed=payload.get("seed", 2013),
+            timing=timing,
+            keep_times=payload.get("keep_times", True),
+            cells=tuple(SweepSpec.from_json_dict(cell) for cell in payload["cells"]),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "CampaignSpec":
+        """Load a campaign spec from a JSON file (``hex-repro sweep --spec``)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json_dict(json.load(handle))
+
+    def key(self) -> str:
+        """Content-address of the spec (cache shard identity)."""
+        return content_key(self.to_json_dict())
+
+    def with_seed(self, seed: int) -> "CampaignSpec":
+        """A copy with a different base seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One fully-resolved simulation run, self-contained and picklable.
+
+    A task carries everything needed to execute in a fresh worker process:
+    topology and timing scalars, workload parameters and the seed-derivation
+    coordinates (``entropy``, ``run_index``).  Its content hash (:meth:`key`)
+    identifies the run in the on-disk cache.
+    """
+
+    kind: str
+    layers: int
+    width: int
+    d_min: float
+    d_max: float
+    theta: float
+    scenario: str
+    num_faults: int
+    fault_type: Optional[str]
+    engine: str
+    timer_policy: str
+    num_pulses: int
+    skew_choice: int
+    fixed_fault_positions: Optional[Tuple[Tuple[int, int], ...]]
+    timeouts: Optional[Tuple[float, ...]]
+    keep_times: bool
+    entropy: int
+    run_index: int
+    cell_index: int
+    point_index: int
+    label: str = ""
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        payload: Dict[str, Any] = {}
+        for task_field in fields(self):
+            value = getattr(self, task_field.name)
+            if isinstance(value, tuple):
+                value = [list(item) if isinstance(item, tuple) else item for item in value]
+            payload[task_field.name] = value
+        return payload
+
+    def key(self) -> str:
+        """Content-address of the task (cache lookup key).
+
+        Presentation-only coordinates (``cell_index``, ``point_index``,
+        ``label``) are excluded so cached runs survive reorganising a campaign
+        into different cells.
+        """
+        payload = self.to_json_dict()
+        for ignored in ("cell_index", "point_index", "label"):
+            payload.pop(ignored)
+        return content_key(payload)
+
+    # ------------------------------------------------------------------
+    # reconstruction helpers (used by the executor)
+    # ------------------------------------------------------------------
+    def rng(self) -> np.random.Generator:
+        """The run's generator, identical to ``spawn_rngs(runs, salt)[run_index]``."""
+        sequence = np.random.SeedSequence(entropy=self.entropy, spawn_key=(self.run_index,))
+        return np.random.default_rng(sequence)
+
+    def make_grid(self) -> HexGrid:
+        """The task's grid."""
+        return HexGrid(layers=self.layers, width=self.width)
+
+    def make_timing(self) -> TimingConfig:
+        """The task's timing configuration."""
+        return TimingConfig(d_min=self.d_min, d_max=self.d_max, theta=self.theta)
+
+    def make_timeouts(self) -> Optional[TimeoutConfig]:
+        """The explicit timeout override, if any."""
+        if self.timeouts is None:
+            return None
+        t_link_min, t_link_max, t_sleep_min, t_sleep_max, separation, sigma = self.timeouts
+        return TimeoutConfig(
+            t_link_min=t_link_min,
+            t_link_max=t_link_max,
+            t_sleep_min=t_sleep_min,
+            t_sleep_max=t_sleep_max,
+            pulse_separation=separation,
+            stable_skew=sigma,
+        )

@@ -9,15 +9,23 @@ Subcommands
 ``simulate [...]``
     Run a one-off single-pulse simulation and print its skew statistics
     (a quick way to explore grid sizes / scenarios / fault counts).
+``sweep [...]``
+    Run a declarative parameter-sweep campaign (grid sizes x scenarios x
+    fault counts x engines), serially or on a worker pool, with an optional
+    resumable on-disk result cache.
 
 Examples
 --------
 ::
 
     hex-repro list
-    hex-repro run table1 --runs 50
+    hex-repro run table1 --runs 50 --workers 8
     hex-repro run fig15 --quick
     hex-repro simulate --layers 30 --width 16 --scenario iv --faults 2 --seed 7
+    hex-repro simulate --engine des --runs 5
+    hex-repro sweep --layers 20,50 --scenarios i,iii --faults 0,1,2 \\
+        --runs 25 --workers 4 --out sweep.jsonl
+    hex-repro sweep --spec campaign.json --workers 8 --store .hex-campaigns --resume
 """
 
 from __future__ import annotations
@@ -26,17 +34,36 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.skew import SkewStatistics
-from repro.clocksource.scenarios import scenario_label, scenario_layer0_times
-from repro.core.parameters import TimingConfig
-from repro.core.topology import HexGrid
+from repro.campaign.records import pooled_statistics, stabilization_times
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.clocksource.scenarios import scenario_label
 from repro.experiments import EXPERIMENTS, load_experiment
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.report import format_kv
+from repro.experiments.report import format_kv, format_table
 from repro.experiments.single_pulse import run_scenario_set
 from repro.faults.models import FaultType
 
 __all__ = ["main", "build_parser"]
+
+#: Default directory of the ``sweep`` result cache.
+DEFAULT_STORE_DIR = ".hex-campaigns"
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse a comma-separated integer list (``"0,1,2"``)."""
+    try:
+        return [int(item) for item in text.split(",") if item.strip() != ""]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}") from error
+
+
+def _str_list(text: str) -> List[str]:
+    """Parse a comma-separated string list (``"i,iii"``)."""
+    return [item.strip() for item in text.split(",") if item.strip() != ""]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
     run_parser.add_argument("--runs", type=int, default=None, help="runs per data point")
     run_parser.add_argument("--seed", type=int, default=None, help="base seed")
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for campaign-backed experiments"
+    )
     run_parser.add_argument(
         "--quick", action="store_true", help="use the small quick configuration (20x10 grid)"
     )
@@ -72,6 +102,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument("--runs", type=int, default=10, help="number of runs")
     sim_parser.add_argument("--seed", type=int, default=1, help="base seed")
+    sim_parser.add_argument(
+        "--engine",
+        choices=("solver", "des"),
+        default="solver",
+        help="execution engine: analytic pulse solver or discrete-event simulation",
+    )
+    sim_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the run set"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="parameter-sweep / Monte Carlo campaign over the simulation entry points"
+    )
+    sweep_parser.add_argument(
+        "--spec", default=None, metavar="FILE", help="campaign spec JSON file (overrides the grid flags)"
+    )
+    sweep_parser.add_argument(
+        "--name", default="sweep", help="campaign name (cache shard identity and report title)"
+    )
+    sweep_parser.add_argument(
+        "--layers", type=_int_list, default=[50], help="comma-separated grid lengths L"
+    )
+    sweep_parser.add_argument(
+        "--width", type=_int_list, default=[20], help="comma-separated grid widths W"
+    )
+    sweep_parser.add_argument(
+        "--scenarios", type=_str_list, default=["i"], help="comma-separated scenarios (i,ii,iii,iv)"
+    )
+    sweep_parser.add_argument(
+        "--faults", type=_int_list, default=[0], help="comma-separated fault counts"
+    )
+    sweep_parser.add_argument(
+        "--fault-type",
+        choices=tuple(ft.value for ft in (FaultType.BYZANTINE, FaultType.FAIL_SILENT)),
+        default=FaultType.BYZANTINE.value,
+        help="fault type for faulty runs",
+    )
+    sweep_parser.add_argument(
+        "--engine", type=_str_list, default=["solver"], help="comma-separated engines (solver,des)"
+    )
+    sweep_parser.add_argument("--runs", type=int, default=10, help="Monte Carlo runs per point")
+    sweep_parser.add_argument("--seed", type=int, default=2013, help="base seed")
+    sweep_parser.add_argument("--salt", type=int, default=0, help="seed salt of the sweep cell")
+    sweep_parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep_parser.add_argument(
+        "--out", default=None, metavar="FILE", help="write canonical record JSONL to this file"
+    )
+    sweep_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=f"result-cache directory (default with --resume: {DEFAULT_STORE_DIR})",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true", help="reuse cached records instead of re-simulating"
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line and summary"
+    )
     return parser
 
 
@@ -82,7 +171,9 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         config = ExperimentConfig.quick()
     else:
         config = ExperimentConfig()
-    if getattr(args, "runs", None):
+    # Compare against None explicitly: 0 is a *given* (invalid) value that must
+    # surface a validation error, not silently fall back to the default.
+    if getattr(args, "runs", None) is not None:
         config = config.with_runs(args.runs)
     if getattr(args, "seed", None) is not None:
         config = config.with_seed(args.seed)
@@ -90,7 +181,11 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _run_experiment(name: str, args: argparse.Namespace) -> str:
-    module = load_experiment(name)
+    try:
+        module = load_experiment(name)
+    except KeyError as error:
+        # Surface as a user-input error (main presents ValueError cleanly).
+        raise ValueError(error.args[0]) from None
     config = _experiment_config(args)
     # Experiments differ slightly in their run() signatures; pass what they accept.
     import inspect
@@ -101,6 +196,14 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
         kwargs["config"] = config
     if "runs" in signature.parameters and args.runs is not None:
         kwargs["runs"] = args.runs
+    if getattr(args, "workers", 1) != 1:
+        if "workers" in signature.parameters:
+            kwargs["workers"] = args.workers
+        else:
+            print(
+                f"note: {name} does not support --workers; running serially",
+                file=sys.stderr,
+            )
     result = module.run(**kwargs)
     render = getattr(result, "render", None)
     if callable(render):
@@ -141,14 +244,141 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         args.scenario,
         num_faults=args.faults,
         fault_type=fault_type,
+        engine=args.engine,
+        workers=args.workers,
     )
     stats: SkewStatistics = run_set.statistics()
     header = (
         f"{args.runs} runs on a {args.layers}x{args.width} grid, "
         f"scenario {scenario_label(args.scenario)}, "
-        f"{args.faults} {fault_type.value} fault(s)"
+        f"{args.faults} {fault_type.value} fault(s), engine {args.engine}"
     )
     print(format_kv(stats.as_row(), title=header))
+    return 0
+
+
+#: Sweep flags that conflict with --spec, with their argparse defaults.
+_SPEC_EXCLUSIVE_FLAGS = {
+    "--name": ("name", "sweep"),
+    "--layers": ("layers", [50]),
+    "--width": ("width", [20]),
+    "--scenarios": ("scenarios", ["i"]),
+    "--faults": ("faults", [0]),
+    "--fault-type": ("fault_type", FaultType.BYZANTINE.value),
+    "--engine": ("engine", ["solver"]),
+    "--runs": ("runs", 10),
+    "--seed": ("seed", 2013),
+    "--salt": ("salt", 0),
+}
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec is not None:
+        # The spec file is authoritative; reject grid flags rather than
+        # silently ignoring them (e.g. --spec f.json --runs 250).
+        overridden = [
+            flag
+            for flag, (attr, default) in _SPEC_EXCLUSIVE_FLAGS.items()
+            if getattr(args, attr) != default
+        ]
+        if overridden:
+            raise ValueError(
+                f"--spec is exclusive with {', '.join(overridden)}; "
+                "edit the spec file instead"
+            )
+        return CampaignSpec.from_file(args.spec)
+    cell = SweepSpec(
+        layers=tuple(args.layers),
+        width=tuple(args.width),
+        scenario=tuple(args.scenarios),
+        num_faults=tuple(args.faults),
+        fault_type=args.fault_type,
+        engine=tuple(args.engine),
+        runs=args.runs,
+        seed_salt=args.salt,
+    )
+    return CampaignSpec(name=args.name, seed=args.seed, cells=(cell,))
+
+
+def _render_sweep_summary(result: CampaignResult) -> str:
+    """Per-point summary table of a finished campaign."""
+    single_rows: List[List[object]] = []
+    multi_rows: List[List[object]] = []
+    for (cell_index, point_index), records in result.grouped().items():
+        params = records[0].params
+        label = [
+            cell_index,
+            point_index,
+            f"{params['layers']}x{params['width']}",
+            scenario_label(params["scenario"]),
+            params["num_faults"],
+            params.get("fault_type") or "-",
+            params["engine"],
+            len(records),
+        ]
+        if records[0].kind == "single_pulse" and records[0].trigger_times is not None:
+            row = pooled_statistics(records).as_row()
+            single_rows.append(
+                label
+                + [row["intra_avg"], row["intra_q95"], row["intra_max"], row["inter_max"]]
+            )
+        elif records[0].kind == "multi_pulse":
+            times = stabilization_times(records)
+            finite = times[np.isfinite(times)]
+            multi_rows.append(
+                label
+                + [
+                    float(finite.mean()) if finite.size else float("nan"),
+                    int(finite.size),
+                ]
+            )
+        else:  # summary-only records (keep_times=False)
+            single_rows.append(label + [float("nan")] * 4)
+    parts: List[str] = []
+    if single_rows:
+        headers = [
+            "cell", "pt", "grid", "scenario", "f", "fault_type", "engine", "runs",
+            "intra_avg", "intra_q95", "intra_max", "inter_max",
+        ]
+        parts.append(format_table(headers, single_rows, title=f"Campaign {result.spec.name}"))
+    if multi_rows:
+        headers = [
+            "cell", "pt", "grid", "scenario", "f", "fault_type", "engine", "runs",
+            "stab_avg", "stabilized",
+        ]
+        parts.append(
+            format_table(headers, multi_rows, title=f"Campaign {result.spec.name} (stabilization)")
+        )
+    return "\n\n".join(parts)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    store = args.store
+    if store is None and args.resume:
+        store = DEFAULT_STORE_DIR
+    runner = CampaignRunner(
+        spec,
+        workers=args.workers,
+        store=store,
+        resume=args.resume,
+        progress=not args.quiet,
+    )
+    result = runner.run()
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for record in result.records:
+                handle.write(record.canonical_json() + "\n")
+
+    if not args.quiet:
+        print(_render_sweep_summary(result))
+        print()
+        print(
+            f"{spec.num_tasks} tasks: {result.executed} simulated, "
+            f"{result.cached} from cache, {result.wall_time_s:.2f}s wall time"
+            + (f", records -> {args.out}" if args.out is not None else "")
+        )
     return 0
 
 
@@ -156,12 +386,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+    except (ValueError, FileNotFoundError) as error:
+        # Domain validation (bad scenario, runs=0, workers=0, unknown
+        # experiment, missing or malformed spec file): present as a CLI
+        # error, not a traceback.  Other exception types are internal bugs
+        # and keep their traceback.
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
     parser.print_help()
     return 1
 

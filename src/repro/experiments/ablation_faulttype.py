@@ -18,13 +18,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.skew import SkewStatistics
+from repro.campaign.records import pooled_statistics
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
 from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_label
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
-from repro.experiments.single_pulse import run_scenario_set
 from repro.faults.models import FaultType
 
-__all__ = ["FaultTypeAblation", "run"]
+__all__ = ["FaultTypeAblation", "campaign_spec", "run"]
 
 
 @dataclass
@@ -70,36 +72,77 @@ class FaultTypeAblation:
         )
 
 
+#: Cell order of the ablation campaign (one fault regime per cell).
+_REGIMES = ("fault_free", "fail_silent", "byzantine")
+
+
+def campaign_spec(
+    config: ExperimentConfig,
+    scenario: str = "iii",
+    num_faults: int = 3,
+    runs: Optional[int] = None,
+    seed_salt: int = 2500,
+) -> CampaignSpec:
+    """The ablation campaign: three cells, one per fault regime.
+
+    The fail-silent and Byzantine cells deliberately share one seed salt so
+    both regimes see the *same placement stream* -- the comparison isolates
+    the fault behaviour, not the fault positions.  This is exactly why the
+    regimes are separate cells rather than a ``fault_type`` axis (an axis
+    would assign them consecutive salts).
+    """
+    scenario_value = parse_scenario(scenario)
+    num_runs = runs if runs is not None else config.runs
+    common = dict(
+        layers=config.layers,
+        width=config.width,
+        scenario=scenario_value.value,
+        runs=num_runs,
+    )
+    cells = (
+        SweepSpec(num_faults=0, seed_salt=seed_salt, label="fault_free", **common),
+        SweepSpec(
+            num_faults=num_faults,
+            fault_type=FaultType.FAIL_SILENT.value,
+            seed_salt=seed_salt + 1,
+            label="fail_silent",
+            **common,
+        ),
+        SweepSpec(
+            num_faults=num_faults,
+            fault_type=FaultType.BYZANTINE.value,
+            seed_salt=seed_salt + 1,  # same placement stream as fail-silent
+            label="byzantine",
+            **common,
+        ),
+    )
+    return CampaignSpec(
+        name=f"ablation-faulttype-{scenario_value.value}",
+        seed=config.seed,
+        timing=config.timing,
+        cells=cells,
+    )
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     scenario: str = "iii",
     num_faults: int = 3,
     runs: Optional[int] = None,
     seed_salt: int = 2500,
+    workers: int = 1,
 ) -> FaultTypeAblation:
     """Compare fault-free, fail-silent and Byzantine runs under one scenario."""
     config = config if config is not None else ExperimentConfig()
     scenario_value = parse_scenario(scenario)
-    statistics: Dict[str, SkewStatistics] = {}
-    statistics["fault_free"] = run_scenario_set(
-        config, scenario_value, num_faults=0, runs=runs, seed_salt=seed_salt
-    ).statistics()
-    statistics["fail_silent"] = run_scenario_set(
-        config,
-        scenario_value,
-        num_faults=num_faults,
-        fault_type=FaultType.FAIL_SILENT,
-        runs=runs,
-        seed_salt=seed_salt + 1,
-    ).statistics()
-    statistics["byzantine"] = run_scenario_set(
-        config,
-        scenario_value,
-        num_faults=num_faults,
-        fault_type=FaultType.BYZANTINE,
-        runs=runs,
-        seed_salt=seed_salt + 1,  # same placement stream as fail-silent
-    ).statistics()
+    spec = campaign_spec(
+        config, scenario=scenario, num_faults=num_faults, runs=runs, seed_salt=seed_salt
+    )
+    campaign = CampaignRunner(spec, workers=workers).run()
+    statistics: Dict[str, SkewStatistics] = {
+        regime: pooled_statistics(campaign.records_for(cell_index=cell_index))
+        for cell_index, regime in enumerate(_REGIMES)
+    }
     return FaultTypeAblation(
         config=config,
         scenario=scenario_value,

@@ -19,10 +19,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.skew import SkewStatistics
+from repro.campaign.records import pooled_statistics
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
 from repro.clocksource.scenarios import Scenario, scenario_label
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
-from repro.experiments.single_pulse import run_scenario_set
 from repro.faults.models import FaultType
 
 __all__ = ["FaultSweepResult", "run", "SCENARIO", "FAULT_COUNTS", "HOP_LEVELS"]
@@ -103,6 +105,32 @@ class FaultSweepResult:
         return "\n\n".join(parts)
 
 
+def _sweep_spec(
+    config: ExperimentConfig,
+    scenario: Scenario,
+    fault_type: FaultType,
+    fault_counts: Sequence[int],
+    runs: Optional[int],
+    seed_salt: int,
+) -> CampaignSpec:
+    """One cell sweeping the fault-count axis; point ``i`` gets salt ``base + i``."""
+    cell = SweepSpec(
+        layers=config.layers,
+        width=config.width,
+        scenario=scenario.value,
+        num_faults=tuple(fault_counts),
+        fault_type=fault_type.value,
+        runs=runs if runs is not None else config.runs,
+        seed_salt=seed_salt,
+    )
+    return CampaignSpec(
+        name=f"fault-sweep-{scenario.value}-{fault_type.value}",
+        seed=config.seed,
+        timing=config.timing,
+        cells=(cell,),
+    )
+
+
 def _sweep(
     config: ExperimentConfig,
     scenario: Scenario,
@@ -110,19 +138,15 @@ def _sweep(
     fault_counts: Sequence[int],
     runs: Optional[int],
     seed_salt: int,
+    workers: int = 1,
 ) -> FaultSweepResult:
+    spec = _sweep_spec(config, scenario, fault_type, fault_counts, runs, seed_salt)
+    campaign = CampaignRunner(spec, workers=workers).run()
     statistics: Dict[Tuple[int, int], SkewStatistics] = {}
     for index, num_faults in enumerate(fault_counts):
-        run_set = run_scenario_set(
-            config,
-            scenario,
-            num_faults=num_faults,
-            fault_type=fault_type,
-            runs=runs,
-            seed_salt=seed_salt + index,
-        )
+        records = campaign.records_for(cell_index=0, point_index=index)
         for hops in HOP_LEVELS:
-            statistics[(num_faults, hops)] = run_set.statistics(hops=hops)
+            statistics[(num_faults, hops)] = pooled_statistics(records, hops=hops)
     return FaultSweepResult(
         config=config, scenario=scenario, fault_type=fault_type, statistics=statistics
     )
@@ -134,7 +158,8 @@ def run(
     fault_counts: Sequence[int] = FAULT_COUNTS,
     fault_type: FaultType = FaultType.BYZANTINE,
     seed_salt: int = 1500,
+    workers: int = 1,
 ) -> FaultSweepResult:
     """Regenerate the Fig. 15 sweep (scenario (iii), Byzantine faults)."""
     config = config if config is not None else ExperimentConfig()
-    return _sweep(config, SCENARIO, fault_type, fault_counts, runs, seed_salt)
+    return _sweep(config, SCENARIO, fault_type, fault_counts, runs, seed_salt, workers=workers)

@@ -31,7 +31,8 @@ def run(
     fault_counts: Sequence[int] = FAULT_COUNTS,
     fault_type: FaultType = FaultType.BYZANTINE,
     seed_salt: int = 1600,
+    workers: int = 1,
 ) -> FaultSweepResult:
     """Regenerate the Fig. 16 sweep (scenario (iv), Byzantine faults)."""
     config = config if config is not None else ExperimentConfig()
-    return _sweep(config, SCENARIO, fault_type, fault_counts, runs, seed_salt)
+    return _sweep(config, SCENARIO, fault_type, fault_counts, runs, seed_salt, workers=workers)

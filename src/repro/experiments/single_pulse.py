@@ -3,30 +3,41 @@
 A *run set* (the paper's set ``R`` of executions) is a collection of
 independent single-pulse simulations sharing the same scenario, fault count and
 fault type, each with its own child RNG stream (delays, layer-0 offsets, fault
-placement and fault behaviour).  The analytic pulse solver is used as the
-execution engine -- it implements exactly the paper's single-pulse semantics
-(constant-0/constant-1 fault behaviour, cleared initial state) and is fast
-enough for the full 250-run suites.
+placement and fault behaviour).  Execution is delegated to the campaign
+subsystem (:mod:`repro.campaign`): a run set is a one-point campaign cell, so
+every experiment transparently gains multiprocessing fan-out (``workers``),
+the resumable on-disk cache and the choice between the analytic solver and
+the discrete-event engine, while producing bit-identical results to the
+historical serial loops (the campaign's seed derivation reproduces
+``ExperimentConfig.spawn_rngs`` exactly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.locality import inclusion_mask
 from repro.analysis.skew import SkewStatistics
-from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_layer0_times
-from repro.core.pulse_solver import solve_single_pulse
+from repro.campaign.records import RunRecord, stand_in_fault_model
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.clocksource.scenarios import Scenario, parse_scenario
 from repro.core.topology import HexGrid, NodeId
 from repro.experiments.config import ExperimentConfig
-from repro.faults.models import FaultModel, FaultType, NodeFault
-from repro.faults.placement import place_faults
-from repro.simulation.links import UniformRandomDelays
+from repro.faults.models import FaultModel, FaultType
+from repro.faults.placement import build_fault_model
+from repro.simulation.network import TimerPolicy
 
-__all__ = ["RunSetResult", "run_scenario_set", "scenario_statistics"]
+__all__ = [
+    "RunSetResult",
+    "scenario_set_spec",
+    "run_set_from_records",
+    "run_scenario_set",
+    "scenario_statistics",
+]
 
 
 @dataclass
@@ -44,7 +55,10 @@ class RunSetResult:
     trigger_times:
         One ``(L + 1, W)`` matrix per run.
     fault_models:
-        One fault model per run (``None`` entries when fault-free).
+        One fault model per run (``None`` entries when fault-free).  These are
+        placement stand-ins rebuilt from the run records -- they carry the
+        faulty positions (all the analysis needs), not the per-link behaviour
+        drawn during simulation.
     layer0_times:
         The layer-0 firing times of each run.
     """
@@ -85,26 +99,66 @@ def _build_fault_model(
     rng: np.random.Generator,
     fixed_positions: Optional[Sequence[NodeId]] = None,
 ) -> Optional[FaultModel]:
-    """Place and parameterise the faults of one run."""
-    if num_faults == 0 or fault_type is None:
-        return None
-    if fixed_positions is not None:
-        if len(fixed_positions) != num_faults:
-            raise ValueError(
-                f"expected {num_faults} fixed fault positions, got {len(fixed_positions)}"
-            )
-        positions = [grid.validate_node(node) for node in fixed_positions]
-    else:
-        positions = place_faults(grid, num_faults, rng)
-    faults = []
-    for node in positions:
-        if fault_type is FaultType.BYZANTINE:
-            faults.append(NodeFault.byzantine(grid, node, rng=rng))
-        elif fault_type is FaultType.FAIL_SILENT:
-            faults.append(NodeFault.fail_silent(grid, node))
-        else:
-            raise ValueError(f"unsupported fault type for single-pulse runs: {fault_type}")
-    return FaultModel(grid, faults)
+    """Place and parameterise the faults of one run.
+
+    Retained as a thin alias of :func:`repro.faults.placement.build_fault_model`
+    (the logic moved there so the campaign executor can share it).
+    """
+    return build_fault_model(grid, num_faults, fault_type, rng, fixed_positions)
+
+
+def scenario_set_spec(
+    config: ExperimentConfig,
+    scenario: Union[Scenario, str],
+    num_faults: int = 0,
+    fault_type: Optional[FaultType] = FaultType.BYZANTINE,
+    runs: Optional[int] = None,
+    seed_salt: int = 0,
+    fixed_fault_positions: Optional[Sequence[NodeId]] = None,
+    engine: str = "solver",
+    timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    name: str = "scenario-set",
+) -> CampaignSpec:
+    """The one-cell campaign spec equivalent of a :func:`run_scenario_set` call."""
+    scenario_value = parse_scenario(scenario)
+    # fault_type=None means "inject nothing" regardless of num_faults -- the
+    # historical _build_fault_model contract -- so the cell must be fault-free.
+    cell = SweepSpec(
+        layers=config.layers,
+        width=config.width,
+        scenario=scenario_value.value,
+        num_faults=num_faults if fault_type is not None else 0,
+        fault_type=(fault_type or FaultType.BYZANTINE).value,
+        engine=engine,
+        timer_policy=timer_policy,
+        runs=runs if runs is not None else config.runs,
+        seed_salt=seed_salt,
+        fixed_fault_positions=fixed_fault_positions,
+    )
+    return CampaignSpec(name=name, seed=config.seed, timing=config.timing, cells=(cell,))
+
+
+def run_set_from_records(
+    config: ExperimentConfig,
+    records: Sequence[RunRecord],
+    scenario: Union[Scenario, str],
+    num_faults: int,
+    fault_type: Optional[FaultType],
+) -> RunSetResult:
+    """Assemble a :class:`RunSetResult` from campaign records (task order)."""
+    grid = config.make_grid()
+    result = RunSetResult(
+        config=config,
+        scenario=parse_scenario(scenario),
+        num_faults=num_faults,
+        fault_type=fault_type if num_faults > 0 else None,
+    )
+    for record in records:
+        result.trigger_times.append(record.trigger_matrix())
+        result.fault_models.append(stand_in_fault_model(grid, record.faulty_nodes))
+        layer0 = record.layer0_times if record.layer0_times is not None else []
+        result.layer0_times.append(np.asarray(layer0, dtype=float))
+    return result
 
 
 def run_scenario_set(
@@ -115,6 +169,9 @@ def run_scenario_set(
     runs: Optional[int] = None,
     seed_salt: int = 0,
     fixed_fault_positions: Optional[Sequence[NodeId]] = None,
+    engine: str = "solver",
+    timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    workers: int = 1,
 ) -> RunSetResult:
     """Execute a set of independent single-pulse runs.
 
@@ -138,32 +195,28 @@ def run_scenario_set(
     fixed_fault_positions:
         Deterministic fault positions (e.g. Fig. 13's node ``(1, 19)``);
         behaviour is still drawn per run for Byzantine faults.
+    engine:
+        ``"solver"`` (analytic, the paper's single-pulse semantics) or
+        ``"des"`` (full discrete-event simulation).
+    timer_policy:
+        Timer-draw policy for the DES engine.
+    workers:
+        Worker processes for the underlying campaign runner; results are
+        identical for any worker count.
     """
-    scenario_value = parse_scenario(scenario)
-    grid = config.make_grid()
-    num_runs = runs if runs is not None else config.runs
-    rngs = config.spawn_rngs(num_runs, salt=seed_salt)
-
-    result = RunSetResult(
-        config=config,
-        scenario=scenario_value,
+    spec = scenario_set_spec(
+        config,
+        scenario,
         num_faults=num_faults,
-        fault_type=fault_type if num_faults > 0 else None,
+        fault_type=fault_type,
+        runs=runs,
+        seed_salt=seed_salt,
+        fixed_fault_positions=fixed_fault_positions,
+        engine=engine,
+        timer_policy=timer_policy,
     )
-    fault_free_count = 0
-    for rng in rngs:
-        layer0 = scenario_layer0_times(scenario_value, grid.width, config.timing, rng=rng)
-        fault_model = _build_fault_model(
-            grid, num_faults, fault_type, rng, fixed_positions=fixed_fault_positions
-        )
-        delays = UniformRandomDelays(config.timing, rng)
-        solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
-        if solution.all_triggered():
-            fault_free_count += 1
-        result.trigger_times.append(solution.trigger_times)
-        result.fault_models.append(fault_model)
-        result.layer0_times.append(layer0)
-    return result
+    campaign = CampaignRunner(spec, workers=workers).run()
+    return run_set_from_records(config, campaign.records, scenario, num_faults, fault_type)
 
 
 def scenario_statistics(
@@ -174,6 +227,7 @@ def scenario_statistics(
     hops: int = 0,
     runs: Optional[int] = None,
     seed_salt: int = 0,
+    workers: int = 1,
 ) -> SkewStatistics:
     """Convenience wrapper: run a scenario set and return its pooled statistics."""
     run_set = run_scenario_set(
@@ -183,5 +237,6 @@ def scenario_statistics(
         fault_type=fault_type,
         runs=runs,
         seed_salt=seed_salt,
+        workers=workers,
     )
     return run_set.statistics(hops=hops)

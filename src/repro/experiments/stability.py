@@ -27,17 +27,20 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.analysis.stabilization import stabilization_time
-from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
-from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_layer0_times
-from repro.core.bounds import stable_skew_choice
+from repro.campaign.records import stabilization_times
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.clocksource.scenarios import Scenario, parse_scenario
 from repro.core.parameters import TimeoutConfig, condition2_timeouts
 from repro.experiments.config import ExperimentConfig
-from repro.faults.models import FaultModel, FaultType, NodeFault
-from repro.faults.placement import place_faults
-from repro.simulation.runner import simulate_multi_pulse
+from repro.faults.models import FaultType
 
-__all__ = ["StabilizationPoint", "run_stabilization_point", "scenario_timeouts"]
+__all__ = [
+    "StabilizationPoint",
+    "stabilization_point_spec",
+    "run_stabilization_point",
+    "scenario_timeouts",
+]
 
 
 def scenario_timeouts(
@@ -130,6 +133,45 @@ class StabilizationPoint:
         }
 
 
+def stabilization_point_spec(
+    config: ExperimentConfig,
+    scenario: Union[Scenario, str],
+    num_faults: int,
+    fault_type: FaultType = FaultType.BYZANTINE,
+    skew_choice: int = 0,
+    runs: Optional[int] = None,
+    num_pulses: Optional[int] = None,
+    seed_salt: int = 0,
+    timeouts: Optional[TimeoutConfig] = None,
+) -> CampaignSpec:
+    """The one-cell campaign spec equivalent of one stabilization data point.
+
+    Without an explicit ``timeouts`` override the campaign executor derives
+    the conservative Lemma 5 values per task -- the same formula as
+    :func:`scenario_timeouts` -- which keeps the spec self-contained.
+    """
+    scenario_value = parse_scenario(scenario)
+    cell = SweepSpec(
+        layers=config.layers,
+        width=config.width,
+        scenario=scenario_value.value,
+        num_faults=num_faults,
+        fault_type=fault_type.value,
+        runs=runs if runs is not None else config.runs,
+        seed_salt=seed_salt,
+        kind="multi_pulse",
+        num_pulses=num_pulses if num_pulses is not None else config.num_pulses,
+        skew_choice=skew_choice,
+        timeouts=timeouts,
+    )
+    return CampaignSpec(
+        name=f"stabilization-{scenario_value.value}",
+        seed=config.seed,
+        timing=config.timing,
+        cells=(cell,),
+    )
+
+
 def run_stabilization_point(
     config: ExperimentConfig,
     scenario: Union[Scenario, str],
@@ -140,10 +182,14 @@ def run_stabilization_point(
     num_pulses: Optional[int] = None,
     seed_salt: int = 0,
     timeouts: Optional[TimeoutConfig] = None,
+    workers: int = 1,
 ) -> StabilizationPoint:
     """Run all simulations of one stabilization data point.
 
     Parameters mirror the paper's experiment matrix; see the module docstring.
+    Execution runs on the campaign subsystem (fault placement, pulse schedule
+    and simulation draws consume each run's child stream in the historical
+    order), so results are identical for any ``workers`` count.
     """
     scenario_value = parse_scenario(scenario)
     if skew_choice not in (0, 1, 2, 3):
@@ -151,67 +197,26 @@ def run_stabilization_point(
     if fault_type not in (FaultType.BYZANTINE, FaultType.FAIL_SILENT):
         raise ValueError("stabilization experiments use Byzantine or fail-silent faults")
 
-    grid = config.make_grid()
-    timing = config.timing
-    num_runs = runs if runs is not None else config.runs
     pulses = num_pulses if num_pulses is not None else config.num_pulses
     if timeouts is None:
         timeouts = scenario_timeouts(config, scenario_value, num_faults)
-
-    # Maximum layer-0 spread of the scenario, used in the C = 0 bound.
-    layer0_spread = {
-        Scenario.ZERO: 0.0,
-        Scenario.UNIFORM_DMIN: timing.d_min,
-        Scenario.UNIFORM_DMAX: timing.d_max,
-        Scenario.RAMP: (config.width // 2) * timing.d_max,
-    }[scenario_value]
-
-    def intra_bound(layer: int) -> float:
-        return stable_skew_choice(
-            skew_choice, timing, config.layers, layer, num_faults, layer0_spread=layer0_spread
-        )
-
-    rngs = config.spawn_rngs(num_runs, salt=seed_salt)
-    times = np.full(num_runs, np.nan, dtype=float)
-    for run_index, rng in enumerate(rngs):
-        fault_model: Optional[FaultModel] = None
-        if num_faults > 0:
-            positions = place_faults(grid, num_faults, rng)
-            faults: List[NodeFault] = []
-            for node in positions:
-                if fault_type is FaultType.BYZANTINE:
-                    faults.append(NodeFault.byzantine(grid, node, rng=rng))
-                else:
-                    faults.append(NodeFault.fail_silent(grid, node))
-            fault_model = FaultModel(grid, faults)
-
-        schedule = generate_pulse_schedule(
-            PulseScheduleConfig(
-                scenario=scenario_value,
-                num_pulses=pulses,
-                separation=timeouts.pulse_separation,
-            ),
-            grid.width,
-            timing,
-            rng=rng,
-        )
-        result = simulate_multi_pulse(
-            grid,
-            timing,
-            timeouts,
-            schedule,
-            rng=rng,
-            fault_model=fault_model,
-            random_initial_states=True,
-        )
-        estimate = stabilization_time(result, intra_bound)
-        times[run_index] = float(estimate) if estimate is not None else np.nan
-
+    spec = stabilization_point_spec(
+        config,
+        scenario_value,
+        num_faults,
+        fault_type=fault_type,
+        skew_choice=skew_choice,
+        runs=runs,
+        num_pulses=pulses,
+        seed_salt=seed_salt,
+        timeouts=timeouts,
+    )
+    campaign = CampaignRunner(spec, workers=workers).run()
     return StabilizationPoint(
         scenario=scenario_value,
         num_faults=num_faults,
         fault_type=fault_type,
         skew_choice=skew_choice,
-        stabilization_times=times,
+        stabilization_times=stabilization_times(campaign.records),
         num_pulses=pulses,
     )

@@ -12,12 +12,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.skew import SkewStatistics
+from repro.campaign.records import pooled_statistics
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
 from repro.clocksource.scenarios import SCENARIOS, Scenario, scenario_label
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
-from repro.experiments.single_pulse import run_scenario_set
 
-__all__ = ["PAPER_TABLE1", "Table1Result", "run"]
+__all__ = ["PAPER_TABLE1", "Table1Result", "campaign_spec", "run"]
 
 #: The values reported in Table 1 of the paper (ns).
 PAPER_TABLE1: Dict[Scenario, Dict[str, float]] = {
@@ -79,9 +81,29 @@ class Table1Result:
         return f"{measured}\n\n{paper}"
 
 
+def campaign_spec(
+    config: ExperimentConfig, runs: Optional[int] = None
+) -> CampaignSpec:
+    """The Table 1 campaign: one cell sweeping the four scenarios, no faults.
+
+    The scenario axis enumerates in paper order, so point ``i`` inherits seed
+    salt ``100 + i`` -- the exact streams of the historical per-scenario loop.
+    """
+    cell = SweepSpec(
+        layers=config.layers,
+        width=config.width,
+        scenario=tuple(scenario.value for scenario in SCENARIOS),
+        num_faults=0,
+        runs=runs if runs is not None else config.runs,
+        seed_salt=100,
+    )
+    return CampaignSpec(name="table1", seed=config.seed, timing=config.timing, cells=(cell,))
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     runs: Optional[int] = None,
+    workers: int = 1,
 ) -> Table1Result:
     """Regenerate Table 1.
 
@@ -92,12 +114,14 @@ def run(
         default run count.
     runs:
         Override of the run count (use 250 for the paper-scale suite).
+    workers:
+        Worker processes for the campaign runner (results are identical for
+        any worker count).
     """
     config = config if config is not None else ExperimentConfig()
-    statistics: Dict[Scenario, SkewStatistics] = {}
-    for index, scenario in enumerate(SCENARIOS):
-        run_set = run_scenario_set(
-            config, scenario, num_faults=0, runs=runs, seed_salt=100 + index
-        )
-        statistics[scenario] = run_set.statistics()
+    campaign = CampaignRunner(campaign_spec(config, runs), workers=workers).run()
+    statistics: Dict[Scenario, SkewStatistics] = {
+        scenario: pooled_statistics(campaign.records_for(cell_index=0, point_index=index))
+        for index, scenario in enumerate(SCENARIOS)
+    }
     return Table1Result(config=config, statistics=statistics)

@@ -31,12 +31,14 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.topology import HexGrid, NodeId
+from repro.faults.models import FaultModel, FaultType, NodeFault
 
 __all__ = [
     "check_condition1",
     "condition1_violations",
     "forbidden_region",
     "place_faults",
+    "build_fault_model",
     "condition1_probability_lower_bound",
 ]
 
@@ -173,6 +175,45 @@ def place_faults(
     raise RuntimeError(
         f"could not place {num_faults} faults under Condition 1 within {max_attempts} attempts"
     )
+
+
+def build_fault_model(
+    grid: HexGrid,
+    num_faults: int,
+    fault_type: Optional[FaultType],
+    rng: np.random.Generator,
+    fixed_positions: Optional[Sequence[NodeId]] = None,
+) -> Optional[FaultModel]:
+    """Place and parameterise the faults of one simulation run.
+
+    This is the per-run fault-injection step shared by the experiment harness
+    and the campaign runner: positions are placed uniformly at random under
+    Condition 1 (or taken from ``fixed_positions``), then per-link behaviour
+    is drawn for Byzantine nodes.  The ``rng`` consumption order (placement
+    first, then behaviour, node by node in sorted position order) is part of
+    the reproducibility contract -- changing it changes every seeded result.
+
+    Returns ``None`` for fault-free runs (``num_faults == 0`` or no type).
+    """
+    if num_faults == 0 or fault_type is None:
+        return None
+    if fixed_positions is not None:
+        if len(fixed_positions) != num_faults:
+            raise ValueError(
+                f"expected {num_faults} fixed fault positions, got {len(fixed_positions)}"
+            )
+        positions = [grid.validate_node(node) for node in fixed_positions]
+    else:
+        positions = place_faults(grid, num_faults, rng)
+    faults: List[NodeFault] = []
+    for node in positions:
+        if fault_type is FaultType.BYZANTINE:
+            faults.append(NodeFault.byzantine(grid, node, rng=rng))
+        elif fault_type is FaultType.FAIL_SILENT:
+            faults.append(NodeFault.fail_silent(grid, node))
+        else:
+            raise ValueError(f"unsupported fault type for random runs: {fault_type}")
+    return FaultModel(grid, faults)
 
 
 def condition1_probability_lower_bound(num_nodes: int, num_faults: int) -> float:

@@ -1,0 +1,432 @@
+"""Tests for the campaign orchestration subsystem (``repro.campaign``).
+
+Covers the acceptance surface of the subsystem: spec expansion and seed
+derivation determinism, serial-vs-parallel record equality, cache
+resume-after-interrupt, the experiment adapters' seed parity with the
+historical hand-rolled loops, and the CLI regressions (``--runs 0``, the
+``sweep`` subcommand round-trip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+import pytest
+
+import repro.campaign.runner as campaign_runner
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStore,
+    RunRecord,
+    SweepSpec,
+    execute_task,
+    pooled_statistics,
+)
+from repro.campaign.progress import ProgressReporter, format_duration
+from repro.cli import _experiment_config, main
+from repro.clocksource.scenarios import Scenario, scenario_layer0_times
+from repro.core.pulse_solver import solve_single_pulse
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.single_pulse import run_scenario_set
+from repro.faults.models import FaultType
+from repro.faults.placement import build_fault_model
+from repro.simulation.links import UniformRandomDelays
+
+
+def small_spec(runs: int = 3, **cell_kwargs) -> CampaignSpec:
+    """A fast two-point campaign on a small grid."""
+    defaults = dict(
+        layers=8, width=6, scenario=("i", "iii"), num_faults=1, runs=runs, seed_salt=11
+    )
+    defaults.update(cell_kwargs)
+    return CampaignSpec(name="test", seed=99, cells=(SweepSpec(**defaults),))
+
+
+class TestSpecExpansion:
+    def test_cartesian_point_count_and_salts(self):
+        cell = SweepSpec(
+            layers=(8, 10), width=6, scenario=("i", "iv"), num_faults=(0, 1, 2),
+            runs=2, seed_salt=40,
+        )
+        assert cell.num_points == 2 * 2 * 3
+        assert cell.num_tasks == 24
+        points = list(cell.points())
+        assert [p.salt for p in points] == [40 + i for i in range(12)]
+        # AXES order: layers outermost, num_faults innermost of the varied axes.
+        assert (points[0].layers, points[0].scenario, points[0].num_faults) == (8, "zero", 0)
+        assert (points[3].layers, points[3].scenario, points[3].num_faults) == (8, "ramp", 0)
+        assert points[-1].layers == 10
+
+    def test_task_seed_derivation_matches_spawn_rngs(self):
+        spec = small_spec(runs=4)
+        tasks = [t for t in spec.tasks() if t.point_index == 1]
+        config = ExperimentConfig(layers=8, width=6, runs=4, seed=99)
+        reference = config.spawn_rngs(4, salt=11 + 1)
+        for task, expected in zip(tasks, reference):
+            assert task.entropy == 99 + 11 + 1
+            assert task.rng().random(5) == pytest.approx(expected.random(5))
+
+    def test_scenario_and_enum_canonicalization(self):
+        cell = SweepSpec(scenario=("(iii)", "ramp"), fault_type=FaultType.FAIL_SILENT)
+        assert cell.scenario == ("uniform_dmax", "ramp")
+        assert cell.fault_type == ("fail_silent",)
+
+    def test_fault_free_tasks_have_no_fault_type(self):
+        spec = small_spec(num_faults=(0, 2))
+        kinds = {(t.num_faults, t.fault_type) for t in spec.tasks()}
+        assert (0, None) in kinds
+        assert (2, "byzantine") in kinds
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SweepSpec(runs=0)
+        with pytest.raises(ValueError):
+            SweepSpec(engine="vhdl")
+        with pytest.raises(ValueError):
+            SweepSpec(kind="chaos")
+        with pytest.raises(ValueError):
+            SweepSpec(num_faults=-1)
+        with pytest.raises(ValueError):
+            CampaignSpec(name="", cells=(SweepSpec(),))
+
+    def test_json_round_trip_preserves_key(self):
+        spec = small_spec(fixed_fault_positions=((2, 3),), num_faults=1)
+        payload = json.loads(json.dumps(spec.to_json_dict()))
+        clone = CampaignSpec.from_json_dict(payload)
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_task_key_ignores_presentation_coordinates(self):
+        spec = small_spec()
+        task = spec.tasks()[0]
+        import dataclasses
+
+        moved = dataclasses.replace(task, cell_index=7, label="elsewhere")
+        assert moved.key() == task.key()
+        different = dataclasses.replace(task, entropy=task.entropy + 1)
+        assert different.key() != task.key()
+
+
+class TestExecutionDeterminism:
+    def test_same_spec_yields_identical_records(self):
+        spec = small_spec()
+        first = CampaignRunner(spec).run()
+        second = CampaignRunner(spec).run()
+        assert [r.canonical_json() for r in first.records] == [
+            r.canonical_json() for r in second.records
+        ]
+
+    def test_serial_and_parallel_records_identical(self):
+        spec = small_spec(runs=4)
+        serial = CampaignRunner(spec, workers=1).run()
+        parallel = CampaignRunner(spec, workers=3).run()
+        assert [r.canonical_json() for r in serial.records] == [
+            r.canonical_json() for r in parallel.records
+        ]
+
+    def test_execute_task_matches_hand_rolled_run(self):
+        """The executor reproduces the historical per-run body draw for draw."""
+        config = ExperimentConfig(layers=8, width=6, runs=1, seed=99)
+        spec = small_spec(runs=1, scenario="iii", num_faults=2)
+        task = spec.tasks()[0]
+        record = execute_task(task)
+
+        grid = config.make_grid()
+        rng = config.spawn_rngs(1, salt=11)[0]
+        layer0 = scenario_layer0_times(Scenario.UNIFORM_DMAX, grid.width, config.timing, rng=rng)
+        fault_model = build_fault_model(grid, 2, FaultType.BYZANTINE, rng)
+        delays = UniformRandomDelays(config.timing, rng)
+        solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+
+        assert record.faulty_nodes == tuple(fault_model.faulty_nodes())
+        assert np.array_equal(record.trigger_matrix(), solution.trigger_times, equal_nan=True)
+        assert record.layer0_times == pytest.approx(layer0.tolist())
+
+    def test_multi_pulse_record_fields(self):
+        spec = CampaignSpec(
+            name="mp",
+            seed=7,
+            cells=(
+                SweepSpec(
+                    layers=8, width=6, scenario="i", num_faults=1, runs=2,
+                    kind="multi_pulse", num_pulses=4, seed_salt=3,
+                ),
+            ),
+        )
+        result = CampaignRunner(spec).run()
+        assert len(result.records) == 2
+        for record in result.records:
+            assert record.kind == "multi_pulse"
+            assert record.total_firings > 0
+            assert record.stabilization_time is not None
+        times = result.point_stabilization_times(0, 0)
+        assert times.shape == (2,)
+
+    def test_keep_times_false_drops_dense_payload(self):
+        spec = CampaignSpec(
+            name="lean", seed=5, keep_times=False,
+            cells=(SweepSpec(layers=8, width=6, runs=2),),
+        )
+        result = CampaignRunner(spec).run()
+        record = result.records[0]
+        assert record.trigger_times is None
+        assert record.skew is not None  # summary row survives
+        with pytest.raises(ValueError):
+            record.trigger_matrix()
+
+    def test_record_json_round_trip(self):
+        spec = small_spec(runs=1)
+        record = CampaignRunner(spec).run().records[0]
+        clone = RunRecord.from_json_dict(json.loads(record.canonical_json()))
+        assert clone.canonical_json() == record.canonical_json()
+        # Infinity/NaN entries survive the round trip (never-fired / faulty).
+        assert np.array_equal(clone.trigger_matrix(), record.trigger_matrix(), equal_nan=True)
+
+
+class TestStoreResume:
+    def test_resume_after_interrupt_skips_completed_tasks(self, tmp_path, monkeypatch):
+        spec = small_spec(runs=3)
+        store = CampaignStore(tmp_path / "cache")
+
+        # Simulate an interrupt: execute only the first 4 tasks, then die.
+        real_execute = campaign_runner.execute_task
+        calls = {"n": 0}
+
+        def dying_execute(task):
+            if calls["n"] >= 4:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return real_execute(task)
+
+        monkeypatch.setattr(campaign_runner, "execute_task", dying_execute)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(spec, store=store, resume=True).run()
+        assert len(store.load(spec)) == 4
+
+        # Resume: only the remaining tasks execute.
+        executed = {"n": 0}
+
+        def counting_execute(task):
+            executed["n"] += 1
+            return real_execute(task)
+
+        monkeypatch.setattr(campaign_runner, "execute_task", counting_execute)
+        result = CampaignRunner(spec, store=store, resume=True).run()
+        assert executed["n"] == spec.num_tasks - 4
+        assert result.cached == 4
+        assert result.executed == spec.num_tasks - 4
+
+        # Re-invocation is a pure cache read and yields the same records.
+        monkeypatch.setattr(campaign_runner, "execute_task", real_execute)
+        repeat = CampaignRunner(spec, store=store, resume=True).run()
+        assert repeat.executed == 0
+        assert repeat.cached == spec.num_tasks
+        assert [r.canonical_json() for r in repeat.records] == [
+            r.canonical_json() for r in result.records
+        ]
+
+    def test_cached_records_match_fresh_execution(self, tmp_path):
+        spec = small_spec(runs=2)
+        store = CampaignStore(tmp_path)
+        fresh = CampaignRunner(spec, store=store).run()
+        resumed = CampaignRunner(spec, store=store, resume=True).run()
+        assert resumed.executed == 0
+        assert [r.canonical_json() for r in resumed.records] == [
+            r.canonical_json() for r in fresh.records
+        ]
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        spec = small_spec(runs=2)
+        store = CampaignStore(tmp_path)
+        CampaignRunner(spec, store=store).run()
+        shard = store.shard_path(spec)
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "record": {"trunc')
+        loaded = store.load(spec)
+        assert len(loaded) == spec.num_tasks
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(small_spec(), resume=True)
+
+    def test_widened_sweep_reuses_completed_tasks(self, tmp_path):
+        """Content addressing: spec revisions under one name keep their runs.
+
+        Raising the Monte Carlo run count (the "add more samples" workflow)
+        and appending cells preserve existing task seeds, so every completed
+        run is served from cache; only the new runs simulate.
+        """
+        store = CampaignStore(tmp_path)
+        narrow = small_spec(runs=3)
+        CampaignRunner(narrow, store=store, resume=True).run()
+
+        more_runs = small_spec(runs=5)
+        result = CampaignRunner(more_runs, store=store, resume=True).run()
+        assert result.cached == narrow.num_tasks
+        assert result.executed == more_runs.num_tasks - narrow.num_tasks
+
+        extra_cell = CampaignSpec(
+            name=more_runs.name,
+            seed=more_runs.seed,
+            cells=more_runs.cells + (SweepSpec(layers=8, width=6, runs=2, seed_salt=77),),
+        )
+        extended = CampaignRunner(extra_cell, store=store, resume=True).run()
+        assert extended.cached == more_runs.num_tasks
+        assert extended.executed == 2
+
+    def test_duplicate_key_cells_get_independent_cached_records(self, tmp_path):
+        """Cells differing only in label share task keys but not record objects."""
+        cells = tuple(
+            SweepSpec(layers=8, width=6, runs=2, seed_salt=3, label=label)
+            for label in ("first", "second")
+        )
+        spec = CampaignSpec(name="twin", seed=5, cells=cells)
+        store = CampaignStore(tmp_path)
+        CampaignRunner(spec, store=store, resume=True).run()
+        resumed = CampaignRunner(spec, store=store, resume=True).run()
+        assert resumed.executed == 0
+        assert [r.cell_index for r in resumed.records] == [0, 0, 1, 1]
+        assert resumed.records[0] is not resumed.records[2]
+        for record in resumed.records:
+            assert record.params["cell_index"] == record.cell_index
+        for cell_index in (0, 1):
+            assert len(resumed.records_for(cell_index=cell_index)) == 2
+
+    def test_shard_lines_are_strict_json(self, tmp_path):
+        """Faulty runs carry nan/inf -- shard lines must still be RFC 8259 JSON."""
+
+        def reject_constant(token):
+            raise AssertionError(f"non-standard JSON constant {token!r}")
+
+        spec = small_spec(runs=2, num_faults=2)
+        store = CampaignStore(tmp_path)
+        result = CampaignRunner(spec, store=store).run()
+        for line in store.shard_path(spec).read_text().splitlines():
+            json.loads(line, parse_constant=reject_constant)
+        for record in result.records:
+            json.loads(record.canonical_json(), parse_constant=reject_constant)
+
+
+class TestExperimentParity:
+    """The campaign-backed adapters replicate the historical seed streams."""
+
+    def test_run_scenario_set_matches_legacy_loop(self, quick_config):
+        run_set = run_scenario_set(quick_config, "iii", num_faults=2, seed_salt=42)
+
+        grid = quick_config.make_grid()
+        rngs = quick_config.spawn_rngs(quick_config.runs, salt=42)
+        for index, rng in enumerate(rngs):
+            layer0 = scenario_layer0_times(
+                Scenario.UNIFORM_DMAX, grid.width, quick_config.timing, rng=rng
+            )
+            fault_model = build_fault_model(grid, 2, FaultType.BYZANTINE, rng)
+            delays = UniformRandomDelays(quick_config.timing, rng)
+            solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+            assert np.array_equal(
+                run_set.trigger_times[index], solution.trigger_times, equal_nan=True
+            )
+            assert run_set.fault_models[index].faulty_nodes() == fault_model.faulty_nodes()
+
+    def test_run_scenario_set_workers_equivalence(self, quick_config):
+        serial = run_scenario_set(quick_config, "i", num_faults=1, seed_salt=7, workers=1)
+        parallel = run_scenario_set(quick_config, "i", num_faults=1, seed_salt=7, workers=2)
+        assert serial.statistics(hops=1).as_row() == parallel.statistics(hops=1).as_row()
+
+    def test_pooled_statistics_match_run_set_statistics(self, quick_config):
+        from repro.experiments.single_pulse import scenario_set_spec
+
+        spec = scenario_set_spec(quick_config, "iii", num_faults=2, seed_salt=42)
+        records = CampaignRunner(spec).run().records
+        run_set = run_scenario_set(quick_config, "iii", num_faults=2, seed_salt=42)
+        for hops in (0, 1):
+            assert pooled_statistics(records, hops=hops) == run_set.statistics(hops=hops)
+
+    def test_fault_type_none_means_fault_free(self, quick_config):
+        """Historical contract: fault_type=None injects nothing, whatever num_faults."""
+        run_set = run_scenario_set(quick_config, "i", num_faults=2, fault_type=None, seed_salt=9)
+        assert run_set.num_faults == 2  # reported as requested...
+        assert run_set.fault_type is None
+        assert all(model is None for model in run_set.fault_models)  # ...but none injected
+        baseline = run_scenario_set(quick_config, "i", num_faults=0, seed_salt=9)
+        for ours, theirs in zip(run_set.trigger_times, baseline.trigger_times):
+            assert np.array_equal(ours, theirs, equal_nan=True)
+
+    def test_des_engine_reachable_through_run_set(self):
+        config = ExperimentConfig(layers=6, width=5, runs=2, seed=3)
+        run_set = run_scenario_set(config, "i", engine="des")
+        stats = run_set.statistics()
+        assert np.isfinite(stats.intra_max)
+
+
+class TestProgress:
+    def test_eta_and_summary(self):
+        reporter = ProgressReporter(total=10, label="x", enabled=False)
+        reporter.start(cached=2)
+        reporter.advance(4)
+        assert reporter.done == 6
+        reporter._started_at -= 1.0  # pretend a second passed: ETA becomes finite
+        assert np.isfinite(reporter.eta())
+        summary = reporter.finish()
+        assert "6/10" in summary and "2 cached" in summary
+
+    def test_format_duration(self):
+        assert format_duration(3.21) == "3.2s"
+        assert format_duration(192) == "3m12s"
+        assert format_duration(3840) == "1h04m"
+        assert format_duration(float("inf")) == "?"
+
+
+class TestCli:
+    def test_runs_zero_is_not_silently_ignored(self):
+        """Regression: ``--runs 0`` used to fall through the truthiness check."""
+        args = argparse.Namespace(runs=0, seed=None)
+        with pytest.raises(ValueError):
+            _experiment_config(args)
+
+    def test_runs_and_seed_overrides_apply(self):
+        args = argparse.Namespace(runs=7, seed=0)
+        config = _experiment_config(args)
+        assert config.runs == 7
+        assert config.seed == 0  # seed 0 is a valid explicit choice
+
+    def test_defaults_without_overrides(self):
+        config = _experiment_config(argparse.Namespace(runs=None, seed=None))
+        assert config.runs == ExperimentConfig().runs
+
+    def test_simulate_engine_flag(self, capsys):
+        code = main(
+            [
+                "simulate", "--layers", "6", "--width", "5", "--runs", "2",
+                "--seed", "3", "--engine", "des",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine des" in out
+
+    def test_sweep_cli_round_trip_and_resume(self, tmp_path, capsys):
+        out_a = tmp_path / "a.jsonl"
+        out_b = tmp_path / "b.jsonl"
+        store = tmp_path / "cache"
+        base = [
+            "sweep", "--layers", "6", "--width", "5", "--scenarios", "i,iii",
+            "--faults", "0,1", "--runs", "2", "--seed", "5", "--name", "t",
+        ]
+        assert main(base + ["--workers", "2", "--out", str(out_a), "--store", str(store)]) == 0
+        assert main(base + ["--out", str(out_b), "--quiet"]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+        capsys.readouterr()
+        assert main(base + ["--store", str(store), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "8 from cache" in out
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        spec = small_spec(runs=1)
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_json_dict()))
+        assert main(["sweep", "--spec", str(spec_file)]) == 0
+        assert "Campaign test" in capsys.readouterr().out

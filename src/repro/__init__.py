@@ -19,6 +19,11 @@ repository root for the full inventory):
 ``repro.simulation``
     A discrete-event simulator replacing the paper's ModelSim/VHDL testbed.
 
+``repro.engines``
+    The unified execution API: the ``Engine`` protocol, the JSON-serializable
+    ``RunSpec`` run description, the unified ``RunResult`` and the registry of
+    backends (``solver``, ``des``, ``clocktree``).
+
 ``repro.clocksource``
     Layer-0 pulse generation: the four skew scenarios of Table 1 and a
     multi-pulse synchronized source with pulse separation ``S`` and drift.
@@ -79,6 +84,15 @@ from repro.simulation.runner import (
     SinglePulseResult,
     MultiPulseResult,
 )
+from repro.engines import (
+    Engine,
+    EngineCapabilities,
+    RunSpec,
+    RunResult,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.analysis.skew import SkewStatistics, intra_layer_skews, inter_layer_skews
 from repro.faults.models import FaultModel, FaultType
 from repro.faults.placement import place_faults, check_condition1
@@ -104,6 +118,13 @@ __all__ = [
     "simulate_multi_pulse",
     "SinglePulseResult",
     "MultiPulseResult",
+    "Engine",
+    "EngineCapabilities",
+    "RunSpec",
+    "RunResult",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "SkewStatistics",
     "intra_layer_skews",
     "inter_layer_skews",

@@ -2,17 +2,16 @@
 
 :func:`execute_task` is the single entry point that turns a
 :class:`~repro.campaign.spec.RunTask` into a
-:class:`~repro.campaign.records.RunRecord`.  It reproduces the historical
-per-run bodies of the experiment harness exactly -- same generator, same
-draw order (layer-0 times, fault placement, fault behaviour, link delays for
-single-pulse runs; fault placement, pulse schedule, simulation draws for
-multi-pulse runs) -- and then calls the existing
-:func:`repro.simulation.runner.simulate_single_pulse` /
-:func:`repro.simulation.runner.simulate_multi_pulse` entry points.  Because a
-task rebuilds its generator from ``(entropy, run_index)`` alone, the result
-is independent of which process executes it and in which order: a campaign
-run with ``workers=8`` produces canonically byte-identical records to a
-serial run.
+:class:`~repro.campaign.records.RunRecord`.  Execution dispatches through the
+engine registry (:func:`repro.engines.get_engine`): the task is translated to
+a :class:`~repro.engines.base.RunSpec` and handed to the engine's ``run``,
+which reproduces the historical per-run bodies exactly -- same generator,
+same draw order (layer-0 times, fault placement, fault behaviour, link delays
+for single-pulse runs; fault placement, pulse schedule, simulation draws for
+multi-pulse runs).  Because a task rebuilds its generator from
+``(entropy, run_index)`` alone, the result is independent of which process
+executes it and in which order: a campaign run with ``workers=8`` produces
+canonically byte-identical records to a serial run.
 
 :class:`CampaignRunner` expands a spec, consults the optional on-disk store
 for already-completed tasks (``resume=True``), executes the remainder either
@@ -42,66 +41,17 @@ from repro.campaign.records import (
 )
 from repro.campaign.spec import CampaignSpec, RunTask
 from repro.campaign.store import CampaignStore
-from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
-from repro.clocksource.scenarios import Scenario, parse_scenario, scenario_layer0_times
+from repro.clocksource.scenarios import parse_scenario
 from repro.core.bounds import stable_skew_choice
-from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
-from repro.faults.models import FaultType
-from repro.faults.placement import build_fault_model
-from repro.simulation.network import TimerPolicy
-from repro.simulation.runner import simulate_multi_pulse, simulate_single_pulse
+from repro.engines import Engine, get_engine
+from repro.engines.des import scenario_layer0_spread
 
 __all__ = ["execute_task", "CampaignResult", "CampaignRunner"]
 
 
-def _scenario_layer0_spread(scenario: Scenario, width: int, timing: TimingConfig) -> float:
-    """Maximum layer-0 spread of a scenario (the C = 0 bound's ``t_max - t_min``)."""
-    return {
-        Scenario.ZERO: 0.0,
-        Scenario.UNIFORM_DMIN: timing.d_min,
-        Scenario.UNIFORM_DMAX: timing.d_max,
-        Scenario.RAMP: (width // 2) * timing.d_max,
-    }[scenario]
-
-
-def _default_stabilization_timeouts(
-    scenario: Scenario, width: int, layers: int, num_faults: int, timing: TimingConfig
-) -> TimeoutConfig:
-    """Condition 2 timeouts from the conservative Lemma 5 stable-skew bound.
-
-    Mirrors :func:`repro.experiments.stability.scenario_timeouts` without
-    depending on the experiments layer.
-    """
-    spread = _scenario_layer0_spread(scenario, width, timing)
-    stable_skew = spread + timing.epsilon * layers + num_faults * timing.d_max
-    return condition2_timeouts(
-        timing, stable_skew=stable_skew, layers=layers, num_faults=num_faults
-    )
-
-
-def _execute_single_pulse(task: RunTask) -> RunRecord:
-    grid = task.make_grid()
-    timing = task.make_timing()
-    rng = task.rng()
-    scenario = parse_scenario(task.scenario)
-    fault_type = FaultType(task.fault_type) if task.fault_type is not None else None
-
-    # Draw order is the reproducibility contract: layer-0 times, then fault
-    # placement and behaviour, then link delays (inside simulate_single_pulse).
-    layer0 = scenario_layer0_times(scenario, grid.width, timing, rng=rng)
-    fault_model = build_fault_model(
-        grid, task.num_faults, fault_type, rng, fixed_positions=task.fixed_fault_positions
-    )
-    result = simulate_single_pulse(
-        grid,
-        timing,
-        layer0,
-        rng=rng,
-        fault_model=fault_model,
-        engine=task.engine,
-        timer_policy=TimerPolicy(task.timer_policy),
-    )
-
+def _execute_single_pulse(task: RunTask, engine: Engine) -> RunRecord:
+    result = engine.run(task.to_run_spec())
+    fault_model = result.fault_model
     mask = fault_model.correctness_mask() if fault_model is not None else None
     skew_row = SkewStatistics.from_times(result.trigger_times, mask).as_row()
     faulty = tuple(fault_model.faulty_nodes()) if fault_model is not None else ()
@@ -115,49 +65,22 @@ def _execute_single_pulse(task: RunTask) -> RunRecord:
         skew=skew_row,
         faulty_nodes=faulty,
         trigger_times=result.trigger_times if task.keep_times else None,
-        layer0_times=layer0 if task.keep_times else None,
+        layer0_times=result.layer0_times if task.keep_times else None,
     )
 
 
-def _execute_multi_pulse(task: RunTask) -> RunRecord:
-    grid = task.make_grid()
-    timing = task.make_timing()
-    rng = task.rng()
-    scenario = parse_scenario(task.scenario)
-    fault_type = FaultType(task.fault_type) if task.fault_type is not None else None
+def _execute_multi_pulse(task: RunTask, engine: Engine) -> RunRecord:
+    if "multi_pulse" not in engine.capabilities.kinds:
+        # The engine sweep axis is documented as ignored by multi-pulse
+        # points (the stabilization workload has a single semantics); fall
+        # back to the discrete-event backend as the historical bodies did.
+        engine = get_engine("des")
+    result = engine.run(task.to_run_spec())
+    grid = result.grid
+    timing = result.timing
+    fault_model = result.fault_model
 
-    # Draw order: fault placement and behaviour, then the pulse schedule, then
-    # the simulation's own draws (initial states, timers, per-message delays).
-    fault_model = build_fault_model(
-        grid, task.num_faults, fault_type, rng, fixed_positions=task.fixed_fault_positions
-    )
-    timeouts = task.make_timeouts()
-    if timeouts is None:
-        timeouts = _default_stabilization_timeouts(
-            scenario, grid.width, grid.layers, task.num_faults, timing
-        )
-    schedule = generate_pulse_schedule(
-        PulseScheduleConfig(
-            scenario=scenario,
-            num_pulses=task.num_pulses,
-            separation=timeouts.pulse_separation,
-        ),
-        grid.width,
-        timing,
-        rng=rng,
-    )
-    result = simulate_multi_pulse(
-        grid,
-        timing,
-        timeouts,
-        schedule,
-        rng=rng,
-        fault_model=fault_model,
-        random_initial_states=True,
-        timer_policy=TimerPolicy(task.timer_policy),
-    )
-
-    layer0_spread = _scenario_layer0_spread(scenario, grid.width, timing)
+    layer0_spread = scenario_layer0_spread(parse_scenario(task.scenario), grid.width, timing)
 
     def intra_bound(layer: int) -> float:
         return stable_skew_choice(
@@ -189,13 +112,16 @@ def execute_task(task: RunTask) -> RunRecord:
 
     Deterministic given the task (except for the recorded wall time), whatever
     process runs it -- the foundation of the serial/parallel equality and of
-    the resumable cache.
+    the resumable cache.  The execution backend is resolved through
+    :func:`repro.engines.get_engine`, so an unknown ``task.engine`` fails
+    with the list of registered engines before any simulation work starts.
     """
     start = time.perf_counter()
+    engine = get_engine(task.engine)
     if task.kind == "single_pulse":
-        record = _execute_single_pulse(task)
+        record = _execute_single_pulse(task, engine)
     elif task.kind == "multi_pulse":
-        record = _execute_multi_pulse(task)
+        record = _execute_multi_pulse(task, engine)
     else:
         raise ValueError(f"unknown task kind {task.kind!r}")
     record.wall_time_s = time.perf_counter() - start

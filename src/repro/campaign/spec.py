@@ -33,17 +33,27 @@ Three levels:
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.clocksource.scenarios import Scenario, parse_scenario
+from repro.clocksource.scenarios import Scenario
 from repro.core.parameters import TimeoutConfig, TimingConfig
-from repro.core.topology import HexGrid, NodeId
+from repro.core.topology import HexGrid
+from repro.engines import RunSpec, available_engines, get_engine
+from repro.engines.base import (
+    canonical_fault_type,
+    canonical_json,
+    canonical_positions,
+    canonical_scenario,
+    canonical_timeouts,
+    canonical_timer_policy,
+    content_key,
+    timeouts_from_tuple,
+)
 from repro.faults.models import FaultType
 from repro.simulation.network import TimerPolicy
 
@@ -58,8 +68,10 @@ __all__ = [
     "content_key",
 ]
 
-#: Supported execution engines for single-pulse tasks.
-ENGINES = ("solver", "des")
+#: The execution engines registered at import time (see
+#: :func:`repro.engines.available_engines`; validation always consults the
+#: live registry, so engines registered later are accepted as well).
+ENGINES = available_engines()
 
 #: Supported workload kinds.
 KINDS = ("single_pulse", "multi_pulse")
@@ -77,17 +89,6 @@ AXES = (
 )
 
 
-def canonical_json(payload: Any) -> str:
-    """A canonical (sorted-keys, compact) JSON encoding used for hashing."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def content_key(payload: Any, length: int = 32) -> str:
-    """Content-address of a JSON-serializable payload (truncated SHA-256)."""
-    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
-    return digest[:length]
-
-
 def _as_tuple(value: Any) -> Tuple[Any, ...]:
     """Coerce a scalar or sequence axis value to a tuple (strings stay scalar)."""
     if isinstance(value, tuple):
@@ -95,50 +96,6 @@ def _as_tuple(value: Any) -> Tuple[Any, ...]:
     if isinstance(value, (list, range)):
         return tuple(value)
     return (value,)
-
-
-def _canonical_scenario(value: Union[Scenario, str]) -> str:
-    return parse_scenario(value).value
-
-
-def _canonical_fault_type(value: Union[FaultType, str]) -> str:
-    if isinstance(value, FaultType):
-        return value.value
-    return FaultType(str(value)).value
-
-
-def _canonical_timer_policy(value: Union[TimerPolicy, str]) -> str:
-    if isinstance(value, TimerPolicy):
-        return value.value
-    return TimerPolicy(str(value)).value
-
-
-def _canonical_positions(
-    value: Optional[Sequence[NodeId]],
-) -> Optional[Tuple[Tuple[int, int], ...]]:
-    if value is None:
-        return None
-    return tuple((int(layer), int(column)) for layer, column in value)
-
-
-def _canonical_timeouts(
-    value: Optional[Union[TimeoutConfig, Sequence[float]]]
-) -> Optional[Tuple[float, ...]]:
-    if value is None:
-        return None
-    if isinstance(value, TimeoutConfig):
-        return (
-            value.t_link_min,
-            value.t_link_max,
-            value.t_sleep_min,
-            value.t_sleep_max,
-            value.pulse_separation,
-            value.stable_skew,
-        )
-    items = tuple(float(item) for item in value)
-    if len(items) != 6:
-        raise ValueError(f"explicit timeouts need 6 values, got {len(items)}")
-    return items
 
 
 @dataclass(frozen=True)
@@ -198,28 +155,47 @@ class SweepSpec:
         coerce(
             self,
             "scenario",
-            tuple(_canonical_scenario(v) for v in _as_tuple(self.scenario)),
+            tuple(canonical_scenario(v) for v in _as_tuple(self.scenario)),
         )
         coerce(self, "num_faults", tuple(int(v) for v in _as_tuple(self.num_faults)))
         coerce(
             self,
             "fault_type",
-            tuple(_canonical_fault_type(v) for v in _as_tuple(self.fault_type)),
+            tuple(canonical_fault_type(v) for v in _as_tuple(self.fault_type)),
         )
         coerce(self, "engine", tuple(str(v) for v in _as_tuple(self.engine)))
         coerce(
             self,
             "timer_policy",
-            tuple(_canonical_timer_policy(v) for v in _as_tuple(self.timer_policy)),
+            tuple(canonical_timer_policy(v) for v in _as_tuple(self.timer_policy)),
         )
-        coerce(self, "fixed_fault_positions", _canonical_positions(self.fixed_fault_positions))
-        coerce(self, "timeouts", _canonical_timeouts(self.timeouts))
+        coerce(self, "fixed_fault_positions", canonical_positions(self.fixed_fault_positions))
+        coerce(self, "timeouts", canonical_timeouts(self.timeouts))
         for axis in AXES:
             if not getattr(self, axis):
                 raise ValueError(f"axis {axis!r} must have at least one value")
         for engine in self.engine:
-            if engine not in ENGINES:
-                raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+            if engine not in available_engines():
+                raise ValueError(
+                    f"unknown engine {engine!r}; available engines: "
+                    f"{', '.join(available_engines())}"
+                )
+            # Fail at build time, not mid-campaign: a cartesian cell pairing a
+            # fault-less engine with a faulty point would otherwise abort the
+            # sweep only when that point executes, losing the completed work.
+            # (Multi-pulse cells ignore the engine axis, so only single-pulse
+            # cells can hit the mismatch.)
+            capabilities = get_engine(engine).capabilities
+            if (
+                self.kind == "single_pulse"
+                and not capabilities.supports_faults
+                and any(count > 0 for count in self.num_faults)
+            ):
+                raise ValueError(
+                    f"engine {engine!r} does not support fault injection but the "
+                    f"num_faults axis contains {tuple(n for n in self.num_faults if n > 0)}; "
+                    "put the fault-free baseline in its own cell"
+                )
         if self.kind not in KINDS:
             raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
         if self.runs < 1:
@@ -503,28 +479,60 @@ class RunTask:
     # reconstruction helpers (used by the executor)
     # ------------------------------------------------------------------
     def rng(self) -> np.random.Generator:
-        """The run's generator, identical to ``spawn_rngs(runs, salt)[run_index]``."""
-        sequence = np.random.SeedSequence(entropy=self.entropy, spawn_key=(self.run_index,))
-        return np.random.default_rng(sequence)
+        """The run's generator, identical to ``spawn_rngs(runs, salt)[run_index]``.
+
+        Delegates to :meth:`~repro.engines.base.RunSpec.rng` so the
+        seed-derivation code exists exactly once.
+        """
+        return self.to_run_spec().rng()
+
+    def to_run_spec(self) -> RunSpec:
+        """The engine-facing :class:`~repro.engines.base.RunSpec` of this task.
+
+        Field-for-field translation -- in particular the seed coordinates
+        ``(entropy, run_index)`` carry over unchanged, so
+        ``spec.rng()`` and :meth:`rng` produce the same stream and engine
+        execution is bit-identical to the historical per-run bodies.
+
+        The explicit ``timeouts`` override is forwarded for multi-pulse tasks
+        only: campaign timeouts are documented as a multi-pulse parameter,
+        and the historical single-pulse bodies ignored them (DES computed its
+        Condition 2 defaults from the layer-0 spread) -- forwarding them
+        would change timer draws, and therefore records, for unchanged task
+        keys.  Direct :class:`RunSpec` users get single-pulse overrides
+        honoured by the DES engine.
+        """
+        return RunSpec(
+            kind=self.kind,
+            layers=self.layers,
+            width=self.width,
+            d_min=self.d_min,
+            d_max=self.d_max,
+            theta=self.theta,
+            scenario=self.scenario,
+            num_faults=self.num_faults,
+            fault_type=self.fault_type,
+            fixed_fault_positions=self.fixed_fault_positions,
+            timeouts=self.timeouts if self.kind == "multi_pulse" else None,
+            timer_policy=self.timer_policy,
+            num_pulses=self.num_pulses,
+            entropy=self.entropy,
+            run_index=self.run_index,
+        )
 
     def make_grid(self) -> HexGrid:
         """The task's grid."""
-        return HexGrid(layers=self.layers, width=self.width)
+        return self.to_run_spec().make_grid()
 
     def make_timing(self) -> TimingConfig:
         """The task's timing configuration."""
-        return TimingConfig(d_min=self.d_min, d_max=self.d_max, theta=self.theta)
+        return self.to_run_spec().make_timing()
 
     def make_timeouts(self) -> Optional[TimeoutConfig]:
-        """The explicit timeout override, if any."""
-        if self.timeouts is None:
-            return None
-        t_link_min, t_link_max, t_sleep_min, t_sleep_max, separation, sigma = self.timeouts
-        return TimeoutConfig(
-            t_link_min=t_link_min,
-            t_link_max=t_link_max,
-            t_sleep_min=t_sleep_min,
-            t_sleep_max=t_sleep_max,
-            pulse_separation=separation,
-            stable_skew=sigma,
-        )
+        """The explicit timeout override, if any.
+
+        Not routed through :meth:`to_run_spec` -- the task-to-spec
+        translation deliberately drops single-pulse overrides, while this
+        accessor reports the raw task field.
+        """
+        return timeouts_from_tuple(self.timeouts)

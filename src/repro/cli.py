@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``list``
     List all reproducible experiments (tables and figures).
+``engines``
+    List the registered execution engines and their capabilities.
 ``run <experiment> [...]``
     Run one experiment and print its text report; ``all`` runs every one.
 ``simulate [...]``
@@ -19,12 +21,14 @@ Examples
 ::
 
     hex-repro list
+    hex-repro engines
     hex-repro run table1 --runs 50 --workers 8
     hex-repro run fig15 --quick
     hex-repro simulate --layers 30 --width 16 --scenario iv --faults 2 --seed 7
     hex-repro simulate --engine des --runs 5
     hex-repro sweep --layers 20,50 --scenarios i,iii --faults 0,1,2 \\
         --runs 25 --workers 4 --out sweep.jsonl
+    hex-repro sweep --engine solver,des,clocktree --runs 10
     hex-repro sweep --spec campaign.json --workers 8 --store .hex-campaigns --resume
 """
 
@@ -41,6 +45,7 @@ from repro.campaign.records import pooled_statistics, stabilization_times
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.campaign.spec import CampaignSpec, SweepSpec
 from repro.clocksource.scenarios import scenario_label
+from repro.engines import available_engines, get_engine
 from repro.experiments import EXPERIMENTS, load_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_kv, format_table
@@ -76,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list all reproducible experiments")
 
+    subparsers.add_parser(
+        "engines", help="list the registered execution engines and their capabilities"
+    )
+
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
     run_parser.add_argument("--runs", type=int, default=None, help="runs per data point")
@@ -104,9 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=1, help="base seed")
     sim_parser.add_argument(
         "--engine",
-        choices=("solver", "des"),
+        choices=available_engines(),
         default="solver",
-        help="execution engine: analytic pulse solver or discrete-event simulation",
+        help="execution engine (see 'hex-repro engines')",
     )
     sim_parser.add_argument(
         "--workers", type=int, default=1, help="worker processes for the run set"
@@ -140,7 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault type for faulty runs",
     )
     sweep_parser.add_argument(
-        "--engine", type=_str_list, default=["solver"], help="comma-separated engines (solver,des)"
+        "--engine",
+        type=_str_list,
+        default=["solver"],
+        help="comma-separated engines (see 'hex-repro engines')",
     )
     sweep_parser.add_argument("--runs", type=int, default=10, help="Monte Carlo runs per point")
     sweep_parser.add_argument("--seed", type=int, default=2013, help="base seed")
@@ -218,6 +230,16 @@ def _cmd_list() -> int:
         doc = (module.__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"  {name:10s} {summary}")
+    print()
+    print("Execution engines: " + ", ".join(available_engines()) + " (see 'hex-repro engines')")
+    return 0
+
+
+def _cmd_engines() -> int:
+    print("Registered execution engines:")
+    for name in available_engines():
+        capabilities = get_engine(name).capabilities
+        print(f"  {name:10s} [{capabilities.summary()}]  {capabilities.description}")
     return 0
 
 
@@ -287,6 +309,10 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
                 "edit the spec file instead"
             )
         return CampaignSpec.from_file(args.spec)
+    for engine in args.engine:
+        # Fail before the campaign is built so a typo surfaces as a one-line
+        # CLI error listing the registered engines.
+        get_engine(engine)
     cell = SweepSpec(
         layers=tuple(args.layers),
         width=tuple(args.width),
@@ -389,6 +415,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "engines":
+            return _cmd_engines()
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "simulate":

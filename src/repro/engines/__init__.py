@@ -1,0 +1,73 @@
+"""Unified execution engines: one protocol, one run description, one registry.
+
+The paper evaluates HEX under two interchangeable execution semantics -- the
+analytic single-pulse solver and the ModelSim-style discrete-event testbed --
+and compares the result against an H-tree clock-tree baseline.  This package
+makes that choice a first-class object instead of a stringly-typed keyword:
+
+* :class:`~repro.engines.base.Engine` -- the backend protocol
+  (``name``, ``capabilities``, ``run(spec, rng) -> RunResult``);
+* :class:`~repro.engines.base.RunSpec` -- a frozen, JSON-round-trippable
+  description of one run (grid, timing, scenario, faults, delay model,
+  timeouts, timer policy, pulse schedule, seed-derivation coordinates);
+* :class:`~repro.engines.base.RunResult` -- the unified result, subsuming the
+  single-pulse and multi-pulse fields the analysis layer consumes;
+* :func:`~repro.engines.registry.register_engine` /
+  :func:`~repro.engines.registry.get_engine` /
+  :func:`~repro.engines.registry.available_engines` -- the registry every
+  dispatch site (simulation shims, campaign executor, CLI) goes through.
+
+Built-in engines: ``solver`` (:class:`SolverEngine`), ``des``
+(:class:`DesEngine`) and ``clocktree`` (:class:`ClockTreeEngine`).
+
+>>> from repro.engines import RunSpec, get_engine
+>>> spec = RunSpec(kind="single_pulse", layers=10, width=8, scenario="iii",
+...                entropy=2013, run_index=0)
+>>> result = get_engine("solver").run(spec)
+>>> result.all_correct_triggered()
+True
+"""
+
+from repro.engines.base import (
+    DELAY_MODELS,
+    KINDS,
+    Engine,
+    EngineCapabilities,
+    RunResult,
+    RunSpec,
+    canonical_json,
+    content_key,
+)
+from repro.engines.registry import (
+    available_engines,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from repro.engines.clocktree import ClockTreeEngine
+from repro.engines.des import DesEngine
+from repro.engines.solver import SolverEngine
+
+__all__ = [
+    "KINDS",
+    "DELAY_MODELS",
+    "Engine",
+    "EngineCapabilities",
+    "RunSpec",
+    "RunResult",
+    "canonical_json",
+    "content_key",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "available_engines",
+    "SolverEngine",
+    "DesEngine",
+    "ClockTreeEngine",
+]
+
+# Built-in registrations.  ``replace=True`` keeps repeated imports (e.g. a
+# reloaded module in an interactive session) idempotent.
+register_engine(SolverEngine(), replace=True)
+register_engine(DesEngine(), replace=True)
+register_engine(ClockTreeEngine(), replace=True)

@@ -1,0 +1,302 @@
+"""The discrete-event testbed as an execution engine.
+
+Replaces the paper's ModelSim/VHDL testbench: full node state machines over a
+time-ordered event queue, supporting both the single-pulse workload (for
+cross-validation against the analytic solver) and the multi-pulse
+stabilization workload of Section 4.4.
+
+Draw order (the reproducibility contract, identical to the historical
+``execute_task`` bodies):
+
+* single-pulse -- layer-0 firing times, fault placement/behaviour, then link
+  delays and timer draws inside the simulation;
+* multi-pulse -- fault placement/behaviour, the pulse schedule, then the
+  simulation's own draws (initial states, timers, per-message delays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
+from repro.clocksource.scenarios import Scenario, scenario_layer0_times
+from repro.core.bounds import lemma5_pulse_skew_bound
+from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
+from repro.core.topology import HexGrid, NodeId
+from repro.engines.base import (
+    EngineCapabilities,
+    RunResult,
+    RunSpec,
+    require_kind,
+    validate_layer0,
+)
+from repro.faults.models import FaultModel
+from repro.faults.placement import build_fault_model
+from repro.simulation.links import DelayModel, FreshUniformDelays, UniformRandomDelays
+from repro.simulation.network import HexNetwork, TimerPolicy
+
+__all__ = [
+    "DesEngine",
+    "single_pulse_default_timeouts",
+    "scenario_layer0_spread",
+    "scenario_stabilization_timeouts",
+]
+
+
+def single_pulse_default_timeouts(
+    grid: HexGrid,
+    timing: TimingConfig,
+    num_faults: int = 0,
+    layer0_spread: float = 0.0,
+    signal_duration: float = 0.0,
+) -> TimeoutConfig:
+    """Conservative Condition 2 timeouts from the Lemma 5 stable-skew bound.
+
+    This is the "C = 0" parameter choice of the stabilization experiments: the
+    stable skew is bounded by Lemma 5 as ``t_max - t_min + epsilon L + f d+``,
+    where ``layer0_spread`` plays the role of ``t_max - t_min``.
+    """
+    stable_skew = lemma5_pulse_skew_bound(
+        timing, grid.layers, num_faults, layer0_spread=layer0_spread
+    )
+    return condition2_timeouts(
+        timing,
+        stable_skew=stable_skew,
+        layers=grid.layers,
+        num_faults=num_faults,
+        signal_duration=signal_duration,
+    )
+
+
+def scenario_layer0_spread(scenario: Scenario, width: int, timing: TimingConfig) -> float:
+    """Maximum layer-0 spread of a scenario (the C = 0 bound's ``t_max - t_min``)."""
+    return {
+        Scenario.ZERO: 0.0,
+        Scenario.UNIFORM_DMIN: timing.d_min,
+        Scenario.UNIFORM_DMAX: timing.d_max,
+        Scenario.RAMP: (width // 2) * timing.d_max,
+    }[scenario]
+
+
+def scenario_stabilization_timeouts(
+    scenario: Scenario, width: int, layers: int, num_faults: int, timing: TimingConfig
+) -> TimeoutConfig:
+    """Condition 2 timeouts from the conservative Lemma 5 stable-skew bound.
+
+    Mirrors :func:`repro.experiments.stability.scenario_timeouts` without
+    depending on the experiments layer.
+    """
+    spread = scenario_layer0_spread(scenario, width, timing)
+    stable_skew = spread + timing.epsilon * layers + num_faults * timing.d_max
+    return condition2_timeouts(
+        timing, stable_skew=stable_skew, layers=layers, num_faults=num_faults
+    )
+
+
+class DesEngine:
+    """The ModelSim-style discrete-event execution semantics."""
+
+    name = "des"
+    capabilities = EngineCapabilities(
+        kinds=("single_pulse", "multi_pulse"),
+        supports_faults=True,
+        supports_explicit_inputs=True,
+        description="discrete-event simulation of the full node state machines",
+    )
+
+    def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
+        """Execute a declarative run (scenario-driven draws)."""
+        require_kind(self, spec)
+        generator = rng if rng is not None else spec.rng()
+        grid = spec.make_grid()
+        timing = spec.make_timing()
+        timer_policy = TimerPolicy(spec.timer_policy)
+
+        if spec.kind == "single_pulse":
+            layer0 = scenario_layer0_times(spec.scenario, grid.width, timing, rng=generator)
+            fault_model = build_fault_model(
+                grid,
+                spec.num_faults,
+                spec.make_fault_type(),
+                generator,
+                fixed_positions=spec.fixed_fault_positions,
+            )
+            result = self.single_pulse(
+                grid,
+                timing,
+                layer0,
+                rng=generator,
+                fault_model=fault_model,
+                delays=spec.make_delays(timing, generator, kind_default="uniform"),
+                timeouts=spec.make_timeouts(),
+                timer_policy=timer_policy,
+            )
+            result.spec = spec
+            return result
+
+        scenario = Scenario(spec.scenario)
+        fault_model = build_fault_model(
+            grid,
+            spec.num_faults,
+            spec.make_fault_type(),
+            generator,
+            fixed_positions=spec.fixed_fault_positions,
+        )
+        timeouts = spec.make_timeouts()
+        if timeouts is None:
+            timeouts = scenario_stabilization_timeouts(
+                scenario, grid.width, grid.layers, spec.num_faults, timing
+            )
+        schedule = generate_pulse_schedule(
+            PulseScheduleConfig(
+                scenario=scenario,
+                num_pulses=spec.num_pulses,
+                separation=timeouts.pulse_separation,
+            ),
+            grid.width,
+            timing,
+            rng=generator,
+        )
+        result = self.multi_pulse(
+            grid,
+            timing,
+            timeouts,
+            schedule,
+            rng=generator,
+            fault_model=fault_model,
+            delays=spec.make_delays(timing, generator, kind_default="fresh"),
+            random_initial_states=spec.random_initial_states,
+            timer_policy=timer_policy,
+            run_slack=spec.run_slack,
+        )
+        result.spec = spec
+        return result
+
+    def single_pulse(
+        self,
+        grid: HexGrid,
+        timing: TimingConfig,
+        layer0_times: Sequence[float],
+        *,
+        rng: np.random.Generator,
+        fault_model: Optional[FaultModel] = None,
+        delays: Optional[DelayModel] = None,
+        timeouts: Optional[TimeoutConfig] = None,
+        timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    ) -> RunResult:
+        """Propagate one pulse wave through the full state machines."""
+        layer0 = validate_layer0(grid, layer0_times)
+        if delays is None:
+            delays = UniformRandomDelays(timing, rng)
+        num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
+        if timeouts is None:
+            spread = float(np.nanmax(layer0) - np.nanmin(layer0)) if layer0.size else 0.0
+            timeouts = single_pulse_default_timeouts(
+                grid, timing, num_faults=num_faults, layer0_spread=spread
+            )
+        network = HexNetwork(
+            grid=grid,
+            timing=timing,
+            timeouts=timeouts,
+            delays=delays,
+            fault_model=fault_model,
+            rng=rng,
+            timer_policy=timer_policy,
+        )
+        network.initialize()
+        network.schedule_source_pulses(layer0[np.newaxis, :])
+        # Byzantine stuck-at-1 links re-assert themselves forever, so the run
+        # must be bounded; by Lemma 5 every correct node that fires at all does
+        # so within (L + f) d+ of the last layer-0 firing.
+        horizon = (
+            float(np.nanmax(layer0))
+            + (grid.layers + num_faults + 2) * timing.d_max
+            + timeouts.t_sleep_max
+        )
+        network.run(until=horizon)
+        trigger_times = network.first_firing_matrix()
+        correct_mask = (
+            fault_model.correctness_mask()
+            if fault_model is not None
+            else np.ones(grid.shape, dtype=bool)
+        )
+        return RunResult(
+            engine=self.name,
+            kind="single_pulse",
+            grid=grid,
+            timing=timing,
+            trigger_times=trigger_times,
+            correct_mask=correct_mask,
+            layer0_times=layer0.copy(),
+            solution=None,
+            fault_model=fault_model,
+            timeouts=timeouts,
+        )
+
+    def multi_pulse(
+        self,
+        grid: HexGrid,
+        timing: TimingConfig,
+        timeouts: TimeoutConfig,
+        source_schedule: Union[np.ndarray, Sequence[Sequence[float]]],
+        *,
+        rng: np.random.Generator,
+        fault_model: Optional[FaultModel] = None,
+        delays: Optional[DelayModel] = None,
+        random_initial_states: bool = True,
+        timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+        run_slack: float = 0.0,
+    ) -> RunResult:
+        """Run the simulator over a whole schedule of layer-0 pulses."""
+        schedule = np.atleast_2d(np.asarray(source_schedule, dtype=float))
+        if schedule.shape[1] != grid.width:
+            raise ValueError(
+                f"source_schedule must have {grid.width} columns -- one per layer-0 "
+                f"clock source of this width-{grid.width} grid -- got shape "
+                f"{schedule.shape}; repro.clocksource.generator.generate_pulse_schedule "
+                "produces valid schedules"
+            )
+        if delays is None:
+            delays = FreshUniformDelays(timing, rng)
+
+        network = HexNetwork(
+            grid=grid,
+            timing=timing,
+            timeouts=timeouts,
+            delays=delays,
+            fault_model=fault_model,
+            rng=rng,
+            timer_policy=timer_policy,
+        )
+        network.initialize()
+        if random_initial_states:
+            network.apply_random_initial_states(rng)
+        network.schedule_source_pulses(schedule)
+
+        num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
+        horizon = (
+            float(np.nanmax(schedule))
+            + (grid.layers + num_faults + 2) * timing.d_max
+            + timeouts.t_sleep_max
+            + run_slack
+        )
+        network.run(until=horizon)
+
+        firing_times: Dict[NodeId, List[float]] = {}
+        for node in grid.nodes():
+            if fault_model is not None and fault_model.is_faulty(node):
+                continue
+            firing_times[node] = network.firing_times(node)
+
+        return RunResult(
+            engine=self.name,
+            kind="multi_pulse",
+            grid=grid,
+            timing=timing,
+            timeouts=timeouts,
+            source_schedule=schedule,
+            firing_times=firing_times,
+            fault_model=fault_model,
+        )

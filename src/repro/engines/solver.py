@@ -1,0 +1,106 @@
+"""The analytic single-pulse solver as an execution engine.
+
+Draw order (the reproducibility contract, identical to the historical
+``execute_task`` single-pulse body): layer-0 firing times, then fault
+placement and behaviour, then the per-link delays -- which
+:class:`~repro.simulation.links.UniformRandomDelays` draws lazily inside the
+solver's own link traversal, exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.clocksource.scenarios import scenario_layer0_times
+from repro.core.parameters import TimeoutConfig, TimingConfig
+from repro.core.pulse_solver import solve_single_pulse
+from repro.core.topology import HexGrid
+from repro.engines.base import (
+    EngineCapabilities,
+    RunResult,
+    RunSpec,
+    require_kind,
+    validate_layer0,
+)
+from repro.faults.models import FaultModel
+from repro.faults.placement import build_fault_model
+from repro.simulation.links import DelayModel, UniformRandomDelays
+from repro.simulation.network import TimerPolicy
+
+__all__ = ["SolverEngine"]
+
+
+class SolverEngine:
+    """The paper's single-pulse semantics: the analytic fixed-point solver.
+
+    Fast and exact under constraints (C1)/(C2); the reference backend for the
+    skew experiments (Tables 1-2, Figs. 8-16).
+    """
+
+    name = "solver"
+    capabilities = EngineCapabilities(
+        kinds=("single_pulse",),
+        supports_faults=True,
+        supports_explicit_inputs=True,
+        description="analytic single-pulse fixed-point solver (exact under (C1)/(C2))",
+    )
+
+    def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
+        """Execute a declarative single-pulse run (scenario-driven draws)."""
+        require_kind(self, spec)
+        generator = rng if rng is not None else spec.rng()
+        grid = spec.make_grid()
+        timing = spec.make_timing()
+        layer0 = scenario_layer0_times(spec.scenario, grid.width, timing, rng=generator)
+        fault_model = build_fault_model(
+            grid,
+            spec.num_faults,
+            spec.make_fault_type(),
+            generator,
+            fixed_positions=spec.fixed_fault_positions,
+        )
+        result = self.single_pulse(
+            grid,
+            timing,
+            layer0,
+            rng=generator,
+            fault_model=fault_model,
+            delays=spec.make_delays(timing, generator, kind_default="uniform"),
+        )
+        result.spec = spec
+        return result
+
+    def single_pulse(
+        self,
+        grid: HexGrid,
+        timing: TimingConfig,
+        layer0_times: Sequence[float],
+        *,
+        rng: np.random.Generator,
+        fault_model: Optional[FaultModel] = None,
+        delays: Optional[DelayModel] = None,
+        timeouts: Optional[TimeoutConfig] = None,
+        timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    ) -> RunResult:
+        """Propagate one pulse wave with explicit inputs.
+
+        ``timeouts`` and ``timer_policy`` are accepted for interface parity
+        with the DES engine and ignored (the analytic solver has neither).
+        """
+        layer0 = validate_layer0(grid, layer0_times)
+        if delays is None:
+            delays = UniformRandomDelays(timing, rng)
+        solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+        return RunResult(
+            engine=self.name,
+            kind="single_pulse",
+            grid=grid,
+            timing=timing,
+            trigger_times=solution.trigger_times,
+            correct_mask=solution.correct_mask,
+            layer0_times=solution.layer0_times,
+            solution=solution,
+            fault_model=fault_model,
+        )

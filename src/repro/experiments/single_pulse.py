@@ -6,9 +6,10 @@ fault type, each with its own child RNG stream (delays, layer-0 offsets, fault
 placement and fault behaviour).  Execution is delegated to the campaign
 subsystem (:mod:`repro.campaign`): a run set is a one-point campaign cell, so
 every experiment transparently gains multiprocessing fan-out (``workers``),
-the resumable on-disk cache and the choice between the analytic solver and
-the discrete-event engine, while producing bit-identical results to the
-historical serial loops (the campaign's seed derivation reproduces
+the resumable on-disk cache and the choice of execution backend -- any
+registered engine of :mod:`repro.engines` (task execution dispatches through
+``get_engine``) -- while producing bit-identical results to the historical
+serial loops (the campaign's seed derivation reproduces
 ``ExperimentConfig.spawn_rngs`` exactly).
 """
 
@@ -196,8 +197,11 @@ def run_scenario_set(
         Deterministic fault positions (e.g. Fig. 13's node ``(1, 19)``);
         behaviour is still drawn per run for Byzantine faults.
     engine:
-        ``"solver"`` (analytic, the paper's single-pulse semantics) or
-        ``"des"`` (full discrete-event simulation).
+        A registered engine name (:func:`repro.engines.available_engines`):
+        ``"solver"`` (analytic, the paper's single-pulse semantics), ``"des"``
+        (full discrete-event simulation) or ``"clocktree"`` (H-tree baseline,
+        fault-free sets only).  Unknown names are rejected with the list of
+        registered engines when the spec is built.
     timer_policy:
         Timer-draw policy for the DES engine.
     workers:

@@ -1,4 +1,4 @@
-"""High-level simulation entry points.
+"""High-level simulation entry points (thin shims over :mod:`repro.engines`).
 
 Two granularities are provided:
 
@@ -15,23 +15,32 @@ Two granularities are provided:
 
 Both helpers accept either a seed or a ready-made :class:`numpy.random.Generator`
 so experiment harnesses can spawn independent child streams per run.
+
+Since the engine redesign the actual execution lives in the registered
+backends of :mod:`repro.engines` (``solver``, ``des``, ``clocktree``); these
+shims resolve the backend through
+:func:`~repro.engines.registry.get_engine` -- so unknown engine names fail
+early with the list of registered engines -- hand it the caller's explicit
+arrays and re-wrap the unified :class:`~repro.engines.base.RunResult` into the
+historical result dataclasses.  The per-run draw order (and therefore the
+bit-identical seed-stream contract) is owned by the engines and unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.bounds import lemma5_pulse_skew_bound
-from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
-from repro.core.pulse_solver import PulseSolution, solve_single_pulse
+from repro.core.parameters import TimeoutConfig, TimingConfig
+from repro.core.pulse_solver import PulseSolution
 from repro.core.topology import HexGrid, NodeId
+from repro.engines.des import single_pulse_default_timeouts
+from repro.engines.registry import get_engine
 from repro.faults.models import FaultModel
-from repro.simulation.links import DelayModel, UniformRandomDelays, FreshUniformDelays
-from repro.simulation.network import HexNetwork, TimerPolicy
+from repro.simulation.links import DelayModel
+from repro.simulation.network import TimerPolicy
 
 __all__ = [
     "SinglePulseResult",
@@ -59,18 +68,15 @@ def default_timeouts(
 ) -> TimeoutConfig:
     """Conservative Condition 2 timeouts from the Lemma 5 stable-skew bound.
 
-    This is the "C = 0" parameter choice of the stabilization experiments: the
-    stable skew is bounded by Lemma 5 as ``t_max - t_min + epsilon L + f d+``,
-    where ``layer0_spread`` plays the role of ``t_max - t_min``.
+    Alias of :func:`repro.engines.des.single_pulse_default_timeouts` (the
+    logic moved there with the engine redesign); retained as the historical
+    public name.
     """
-    stable_skew = lemma5_pulse_skew_bound(
-        timing, grid.layers, num_faults, layer0_spread=layer0_spread
-    )
-    return condition2_timeouts(
+    return single_pulse_default_timeouts(
+        grid,
         timing,
-        stable_skew=stable_skew,
-        layers=grid.layers,
         num_faults=num_faults,
+        layer0_spread=layer0_spread,
         signal_duration=signal_duration,
     )
 
@@ -188,7 +194,9 @@ def simulate_single_pulse(
         Explicit link delay model; defaults to per-link uniform delays in
         ``[d-, d+]`` drawn from the run's RNG.
     engine:
-        ``"solver"`` (analytic, default) or ``"des"`` (discrete-event).
+        A registered engine name accepting explicit layer-0 times --
+        ``"solver"`` (analytic, default) or ``"des"`` (discrete-event); see
+        :func:`repro.engines.available_engines`.
     timeouts:
         Algorithm timeouts for the DES engine; defaults to the conservative
         Condition 2 values from :func:`default_timeouts`.
@@ -199,68 +207,36 @@ def simulate_single_pulse(
     -------
     SinglePulseResult
     """
+    backend = get_engine(engine)
+    if not backend.capabilities.supports_explicit_inputs or not hasattr(
+        backend, "single_pulse"
+    ):
+        raise ValueError(
+            f"engine {backend.name!r} does not accept explicit layer0_times; "
+            f"build a repro.engines.RunSpec and call "
+            f"get_engine({backend.name!r}).run(spec) instead"
+        )
     generator = _make_rng(seed, rng)
-    layer0 = np.asarray(layer0_times, dtype=float)
-    if layer0.shape != (grid.width,):
-        raise ValueError(f"layer0_times must have shape ({grid.width},), got {layer0.shape}")
-    if delays is None:
-        delays = UniformRandomDelays(timing, generator)
-
-    if engine == "solver":
-        solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
-        return SinglePulseResult(
-            grid=grid,
-            timing=timing,
-            trigger_times=solution.trigger_times,
-            correct_mask=solution.correct_mask,
-            layer0_times=solution.layer0_times,
-            engine="solver",
-            solution=solution,
-            fault_model=fault_model,
-        )
-    if engine == "des":
-        if timeouts is None:
-            num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
-            spread = float(np.nanmax(layer0) - np.nanmin(layer0)) if layer0.size else 0.0
-            timeouts = default_timeouts(grid, timing, num_faults=num_faults, layer0_spread=spread)
-        network = HexNetwork(
-            grid=grid,
-            timing=timing,
-            timeouts=timeouts,
-            delays=delays,
-            fault_model=fault_model,
-            rng=generator,
-            timer_policy=timer_policy,
-        )
-        network.initialize()
-        network.schedule_source_pulses(layer0[np.newaxis, :])
-        # Byzantine stuck-at-1 links re-assert themselves forever, so the run
-        # must be bounded; by Lemma 5 every correct node that fires at all does
-        # so within (L + f) d+ of the last layer-0 firing.
-        num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
-        horizon = (
-            float(np.nanmax(layer0))
-            + (grid.layers + num_faults + 2) * timing.d_max
-            + timeouts.t_sleep_max
-        )
-        network.run(until=horizon)
-        trigger_times = network.first_firing_matrix()
-        correct_mask = (
-            fault_model.correctness_mask()
-            if fault_model is not None
-            else np.ones(grid.shape, dtype=bool)
-        )
-        return SinglePulseResult(
-            grid=grid,
-            timing=timing,
-            trigger_times=trigger_times,
-            correct_mask=correct_mask,
-            layer0_times=layer0.copy(),
-            engine="des",
-            solution=None,
-            fault_model=fault_model,
-        )
-    raise ValueError(f"unknown engine {engine!r}; expected 'solver' or 'des'")
+    result = backend.single_pulse(
+        grid,
+        timing,
+        layer0_times,
+        rng=generator,
+        fault_model=fault_model,
+        delays=delays,
+        timeouts=timeouts,
+        timer_policy=timer_policy,
+    )
+    return SinglePulseResult(
+        grid=grid,
+        timing=timing,
+        trigger_times=result.trigger_times,
+        correct_mask=result.correct_mask,
+        layer0_times=result.layer0_times,
+        engine=result.engine,
+        solution=result.solution,
+        fault_model=result.fault_model,
+    )
 
 
 def simulate_multi_pulse(
@@ -275,6 +251,7 @@ def simulate_multi_pulse(
     random_initial_states: bool = True,
     timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
     run_slack: float = 0.0,
+    engine: str = "des",
 ) -> MultiPulseResult:
     """Run the discrete-event simulator over a schedule of layer-0 pulses.
 
@@ -293,54 +270,42 @@ def simulate_multi_pulse(
     delays:
         Delay model; defaults to fresh per-message uniform delays in
         ``[d-, d+]``.
+    engine:
+        A registered engine name supporting the multi-pulse workload
+        (currently only ``"des"``).
 
     Returns
     -------
     MultiPulseResult
     """
-    generator = _make_rng(seed, rng)
-    schedule = np.atleast_2d(np.asarray(source_schedule, dtype=float))
-    if schedule.shape[1] != grid.width:
+    backend = get_engine(engine)
+    if (
+        "multi_pulse" not in backend.capabilities.kinds
+        or not backend.capabilities.supports_explicit_inputs
+        or not hasattr(backend, "multi_pulse")
+    ):
         raise ValueError(
-            f"source_schedule must have {grid.width} columns, got shape {schedule.shape}"
+            f"engine {backend.name!r} does not support explicit multi-pulse "
+            f"schedules (supported kinds: {', '.join(backend.capabilities.kinds)})"
         )
-    if delays is None:
-        delays = FreshUniformDelays(timing, generator)
-
-    network = HexNetwork(
-        grid=grid,
-        timing=timing,
-        timeouts=timeouts,
-        delays=delays,
-        fault_model=fault_model,
+    generator = _make_rng(seed, rng)
+    result = backend.multi_pulse(
+        grid,
+        timing,
+        timeouts,
+        source_schedule,
         rng=generator,
+        fault_model=fault_model,
+        delays=delays,
+        random_initial_states=random_initial_states,
         timer_policy=timer_policy,
+        run_slack=run_slack,
     )
-    network.initialize()
-    if random_initial_states:
-        network.apply_random_initial_states(generator)
-    network.schedule_source_pulses(schedule)
-
-    num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
-    horizon = (
-        float(np.nanmax(schedule))
-        + (grid.layers + num_faults + 2) * timing.d_max
-        + timeouts.t_sleep_max
-        + run_slack
-    )
-    network.run(until=horizon)
-
-    firing_times: Dict[NodeId, List[float]] = {}
-    for node in grid.nodes():
-        if fault_model is not None and fault_model.is_faulty(node):
-            continue
-        firing_times[node] = network.firing_times(node)
-
     return MultiPulseResult(
         grid=grid,
         timing=timing,
         timeouts=timeouts,
-        source_schedule=schedule,
-        firing_times=firing_times,
-        fault_model=fault_model,
+        source_schedule=result.source_schedule,
+        firing_times=result.firing_times,
+        fault_model=result.fault_model,
     )

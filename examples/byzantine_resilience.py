@@ -17,7 +17,9 @@ grid:
 
 Run with::
 
-    python examples/byzantine_resilience.py
+    python examples/byzantine_resilience.py [--quick]
+
+(``--quick`` uses a tiny grid -- the configuration CI smoke-runs.)
 """
 
 from __future__ import annotations
@@ -30,12 +32,19 @@ from repro.faults.models import FaultType
 from repro.faults.placement import condition1_probability_lower_bound
 
 
-def main() -> None:
-    config = ExperimentConfig(layers=30, width=14, runs=10, num_pulses=6, seed=7)
+def main(quick: bool = False) -> None:
+    if quick:
+        config = ExperimentConfig(layers=12, width=8, runs=2, num_pulses=4, seed=7)
+        fault_counts = (0, 1, 2)
+        stabilization_runs = 2
+    else:
+        config = ExperimentConfig(layers=30, width=14, runs=10, num_pulses=6, seed=7)
+        fault_counts = (0, 1, 2, 4)
+        stabilization_runs = 5
 
     # --- single-pulse skew vs number of Byzantine nodes --------------------
     rows = []
-    for num_faults in (0, 1, 2, 4):
+    for num_faults in fault_counts:
         run_set = run_scenario_set(
             config,
             "iii",
@@ -80,7 +89,7 @@ def main() -> None:
         num_faults=2,
         fault_type=FaultType.BYZANTINE,
         skew_choice=0,
-        runs=5,
+        runs=stabilization_runs,
     )
     print(
         format_table(
@@ -98,4 +107,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description="HEX Byzantine resilience example")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny-grid smoke configuration (used by CI)"
+    )
+    main(quick=parser.parse_args().quick)

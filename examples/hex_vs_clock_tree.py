@@ -19,7 +19,9 @@ via frequency multiplication, and what that costs in additional skew.
 
 Run with::
 
-    python examples/hex_vs_clock_tree.py
+    python examples/hex_vs_clock_tree.py [--quick]
+
+(``--quick`` uses a tiny grid -- the configuration CI smoke-runs.)
 """
 
 from __future__ import annotations
@@ -41,11 +43,12 @@ from repro.simulation.links import UniformRandomDelays
 from repro.simulation.runner import simulate_single_pulse
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     timing = TimingConfig.paper_defaults()
 
     # --- scaling comparison -------------------------------------------------
-    comparison = compare_scaling(tree_levels=(2, 3, 4, 5), timing=timing, seed=3)
+    tree_levels = (2, 3) if quick else (2, 3, 4, 5)
+    comparison = compare_scaling(tree_levels=tree_levels, timing=timing, seed=3)
     rows = [
         [
             row.num_endpoints,
@@ -69,7 +72,7 @@ def main() -> None:
     print()
 
     # --- frequency multiplication (Section 5) ------------------------------
-    grid = HexGrid(layers=20, width=12)
+    grid = HexGrid(layers=6, width=8) if quick else HexGrid(layers=20, width=12)
     rng = np.random.default_rng(11)
     layer0 = scenario_layer0_times("i", grid.width, timing, rng=rng)
     result = simulate_single_pulse(
@@ -105,4 +108,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description="HEX vs clock-tree example")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny-grid smoke configuration (used by CI)"
+    )
+    main(quick=parser.parse_args().quick)

@@ -9,7 +9,9 @@ intra-/inter-layer skew statistics next to the worst-case bound of Theorem 1.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--quick]
+
+(``--quick`` uses a tiny grid -- the configuration CI smoke-runs.)
 """
 
 from __future__ import annotations
@@ -24,10 +26,10 @@ from repro.experiments.report import format_kv
 from repro.simulation.links import UniformRandomDelays
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     # A 20-layer, 12-column HEX grid with the paper's end-to-end delay bounds
     # ([7.161, 8.197] ns, i.e. epsilon ~ 1 ns of per-link uncertainty).
-    grid = HexGrid(layers=20, width=12)
+    grid = HexGrid(layers=6, width=8) if quick else HexGrid(layers=20, width=12)
     timing = TimingConfig.paper_defaults()
 
     # Layer 0: synchronized clock sources with initial skews uniform in [0, d+]
@@ -71,4 +73,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description="HEX quickstart example")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny-grid smoke configuration (used by CI)"
+    )
+    main(quick=parser.parse_args().quick)

@@ -32,6 +32,13 @@ repository root for the full inventory):
     Fault injection: Byzantine (per-link constant-0/constant-1), fail-silent
     and crash faults, plus Condition 1 (fault separation) placement.
 
+``repro.adversary``
+    Dynamic adversaries: declarative, JSON-round-trippable fault schedules
+    (timed inject/heal/crash/flip events; burst, cluster, intermittent-link
+    and mobile-fault generators), delay adversaries within ``[d-, d+]``, and
+    the materialized runtime actions the DES engine executes -- the workload
+    layer behind the paper's self-stabilization claims.
+
 ``repro.analysis``
     Skew statistics, histograms, stabilization-time estimation and
     fault-locality analysis (the paper's Haskell post-processing).

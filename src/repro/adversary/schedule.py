@@ -1,0 +1,625 @@
+"""Declarative, JSON-round-trippable schedules of time-varying faults.
+
+HEX's headline property is *self-stabilization*: the grid recovers from
+transient faults and arbitrary initial states.  Static
+:class:`~repro.faults.models.FaultModel` instances frozen at ``t = 0`` cannot
+exercise that -- nothing breaks mid-run, heals, or moves.  A
+:class:`FaultSchedule` describes exactly such dynamics, declaratively:
+
+* **timed events** -- ``inject`` (a node turns Byzantine or fail-silent),
+  ``heal`` (a transient fault ends), ``crash`` (correct until the event,
+  silent after) and ``flip_behavior`` (a Byzantine node re-chooses its
+  per-link constant-0/constant-1 outputs);
+* **generators** -- ``burst`` (``f`` simultaneous faults, optionally healed
+  after a duration), ``cluster`` (spatially-correlated faults around a random
+  center, placed under Condition 1 via :mod:`repro.faults.placement`),
+  ``intermittent_link`` (one link toggling between correct and stuck), and
+  ``mobile`` (a Byzantine fault wandering across neighbouring nodes).
+
+Schedules are frozen, hashable and JSON-round-trippable
+(``FaultSchedule.from_json(s.to_json()) == s``), so they ride inside
+:class:`~repro.engines.base.RunSpec` and sweep as campaign axes with stable
+content keys.  All randomness (placements, Byzantine behaviours, walks) is
+resolved by :meth:`FaultSchedule.materialize` from the run's seeded generator
+-- *after* the static fault model's draws, in directive order -- producing a
+:class:`~repro.adversary.runtime.ScheduledAdversary` of concrete actions that
+consume no randomness at run time.  That placement in the draw order is part
+of the reproducibility contract: specs without a schedule consume exactly the
+historical stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.adversary.runtime import (
+    AdversaryActionBody,
+    FlipBehavior,
+    HealNode,
+    InjectFault,
+    ScheduledAdversary,
+    SetLinkBehavior,
+)
+from repro.core.topology import HexGrid, NodeId
+from repro.faults.models import FaultType, LinkBehavior, NodeFault
+from repro.faults.placement import forbidden_region
+
+__all__ = [
+    "DIRECTIVE_KINDS",
+    "INJECTABLE_FAULT_TYPES",
+    "FaultDirective",
+    "FaultSchedule",
+    "BUILTIN_GENERATORS",
+]
+
+#: Supported directive kinds (events first, generators after).
+DIRECTIVE_KINDS = (
+    "inject",
+    "heal",
+    "crash",
+    "flip_behavior",
+    "burst",
+    "cluster",
+    "intermittent_link",
+    "mobile",
+)
+
+#: Fault types a schedule may inject (crash has its own directive kind).
+INJECTABLE_FAULT_TYPES = (FaultType.BYZANTINE.value, FaultType.FAIL_SILENT.value)
+
+#: Link behaviours an intermittent link may be forced to.
+_LINK_BEHAVIOR_VALUES = (LinkBehavior.CONSTANT_ZERO.value, LinkBehavior.CONSTANT_ONE.value)
+
+#: Schema tag written into serialized schedules.
+SCHEMA = "hex-repro/fault-schedule/v1"
+
+
+def _canonical_node(value: Optional[Sequence[int]]) -> Optional[Tuple[int, int]]:
+    if value is None:
+        return None
+    layer, column = value
+    return (int(layer), int(column))
+
+
+def _canonical_link(
+    value: Optional[Sequence[Sequence[int]]],
+) -> Optional[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    if value is None:
+        return None
+    source, destination = value
+    return (_canonical_node(source), _canonical_node(destination))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One declarative entry of a :class:`FaultSchedule`.
+
+    Only the fields relevant to the directive's ``kind`` are meaningful;
+    validation rejects inconsistent combinations at construction.  ``node``
+    (and the intermittent link's ``link``) may be ``None``, meaning "chosen
+    uniformly at random -- under Condition 1 -- at materialization time from
+    the run's seeded generator".
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`DIRECTIVE_KINDS`.
+    time:
+        Simulation time of the event (start time for generators).
+    node:
+        Explicit target node; ``None`` for random placement.
+    link:
+        Explicit directed link of an ``intermittent_link`` directive.
+    fault_type:
+        ``"byzantine"`` or ``"fail_silent"`` for injecting directives.
+    count:
+        Number of faults of a ``burst`` / ``cluster``.
+    radius:
+        Hop radius of a ``cluster`` (cylindrical distance around the center).
+    duration:
+        Lifetime of injected faults; ``None`` means permanent.  For ``heal``
+        directives the field is unused.
+    period, duty, until:
+        ``intermittent_link`` cycle: from ``time`` until ``until`` the link is
+        stuck for ``duty * period`` out of every ``period``.
+    interval, hops:
+        ``mobile``: the fault relocates every ``interval`` for ``hops`` moves
+        (``until``, if given, heals the final position).
+    behavior:
+        The stuck behaviour of an ``intermittent_link``.
+    """
+
+    kind: str
+    time: float
+    node: Optional[Tuple[int, int]] = None
+    link: Optional[Tuple[Tuple[int, int], Tuple[int, int]]] = None
+    fault_type: str = FaultType.BYZANTINE.value
+    count: int = 1
+    radius: int = 2
+    duration: Optional[float] = None
+    period: Optional[float] = None
+    duty: float = 0.5
+    until: Optional[float] = None
+    interval: Optional[float] = None
+    hops: int = 0
+    behavior: str = LinkBehavior.CONSTANT_ZERO.value
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        coerce(self, "kind", str(self.kind))
+        coerce(self, "time", float(self.time))
+        coerce(self, "node", _canonical_node(self.node))
+        coerce(self, "link", _canonical_link(self.link))
+        coerce(self, "fault_type", str(self.fault_type))
+        if self.kind not in DIRECTIVE_KINDS:
+            raise ValueError(
+                f"unknown directive kind {self.kind!r}; expected one of {DIRECTIVE_KINDS}"
+            )
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ValueError(f"directive time must be finite and non-negative, got {self.time}")
+        if self.kind in ("inject", "burst", "cluster", "mobile"):
+            if self.fault_type not in INJECTABLE_FAULT_TYPES:
+                raise ValueError(
+                    f"fault_type for {self.kind!r} must be one of "
+                    f"{INJECTABLE_FAULT_TYPES}, got {self.fault_type!r}"
+                )
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.kind in ("burst", "cluster") and self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.kind == "cluster" and self.radius < 1:
+            raise ValueError(f"radius must be >= 1, got {self.radius}")
+        if self.kind == "intermittent_link":
+            if self.period is None or self.period <= 0:
+                raise ValueError("intermittent_link needs a positive period")
+            if not 0.0 < self.duty < 1.0:
+                raise ValueError(f"duty must lie in (0, 1), got {self.duty}")
+            if self.until is None or self.until <= self.time:
+                raise ValueError("intermittent_link needs until > time")
+            if self.behavior not in _LINK_BEHAVIOR_VALUES:
+                raise ValueError(
+                    f"behavior must be one of {_LINK_BEHAVIOR_VALUES}, got {self.behavior!r}"
+                )
+        if self.kind == "mobile":
+            if self.interval is None or self.interval <= 0:
+                raise ValueError("mobile needs a positive interval")
+            if self.hops < 0:
+                raise ValueError(f"hops must be >= 0, got {self.hops}")
+            if self.until is not None and self.until <= self.time:
+                raise ValueError("mobile until must exceed the start time")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (defaults omitted, tuples to lists)."""
+        payload: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name not in ("kind", "time") and value == spec_field.default:
+                continue
+            if spec_field.name == "node" and value is not None:
+                value = list(value)
+            elif spec_field.name == "link" and value is not None:
+                value = [list(value[0]), list(value[1])]
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "FaultDirective":
+        """Inverse of :meth:`to_json_dict` (unknown keys rejected)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown FaultDirective fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, ordered collection of fault directives.
+
+    Attributes
+    ----------
+    directives:
+        The directives; materialization resolves them in this order (which is
+        also the order the run's generator is consumed in).
+    label:
+        Free-form tag shown in previews and reports.
+    """
+
+    directives: Tuple[FaultDirective, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        items: List[FaultDirective] = []
+        raw = self.directives
+        if isinstance(raw, FaultDirective):
+            raw = (raw,)
+        for item in raw:
+            if isinstance(item, FaultDirective):
+                items.append(item)
+            elif isinstance(item, dict):
+                items.append(FaultDirective.from_json_dict(item))
+            else:
+                raise TypeError(f"not a FaultDirective or mapping: {item!r}")
+        if not items:
+            raise ValueError("a fault schedule needs at least one directive")
+        coerce(self, "directives", tuple(items))
+
+    # ------------------------------------------------------------------
+    # generators (the built-in schedule families)
+    # ------------------------------------------------------------------
+    @classmethod
+    def burst(
+        cls,
+        time: float,
+        count: int,
+        fault_type: str = FaultType.BYZANTINE.value,
+        duration: Optional[float] = None,
+        label: str = "",
+    ) -> "FaultSchedule":
+        """``count`` simultaneous faults at ``time``, healed after ``duration``.
+
+        Placement is uniform under Condition 1 at materialization time;
+        ``duration=None`` makes the burst permanent.
+        """
+        directive = FaultDirective(
+            kind="burst", time=time, count=count, fault_type=fault_type, duration=duration
+        )
+        return cls(directives=(directive,), label=label or f"burst-{count}")
+
+    @classmethod
+    def cluster(
+        cls,
+        time: float,
+        count: int,
+        radius: int = 3,
+        fault_type: str = FaultType.BYZANTINE.value,
+        duration: Optional[float] = None,
+        label: str = "",
+    ) -> "FaultSchedule":
+        """Spatially-correlated faults within ``radius`` hops of a random center."""
+        directive = FaultDirective(
+            kind="cluster",
+            time=time,
+            count=count,
+            radius=radius,
+            fault_type=fault_type,
+            duration=duration,
+        )
+        return cls(directives=(directive,), label=label or f"cluster-{count}r{radius}")
+
+    @classmethod
+    def intermittent_link(
+        cls,
+        time: float,
+        period: float,
+        until: float,
+        duty: float = 0.5,
+        link: Optional[Tuple[Tuple[int, int], Tuple[int, int]]] = None,
+        behavior: str = LinkBehavior.CONSTANT_ZERO.value,
+        label: str = "",
+    ) -> "FaultSchedule":
+        """One link toggling between correct and stuck with the given duty cycle."""
+        directive = FaultDirective(
+            kind="intermittent_link",
+            time=time,
+            period=period,
+            duty=duty,
+            until=until,
+            link=link,
+            behavior=behavior,
+        )
+        return cls(directives=(directive,), label=label or "intermittent-link")
+
+    @classmethod
+    def mobile_byzantine(
+        cls,
+        time: float,
+        interval: float,
+        hops: int,
+        until: Optional[float] = None,
+        fault_type: str = FaultType.BYZANTINE.value,
+        label: str = "",
+    ) -> "FaultSchedule":
+        """A fault wandering to a random neighbouring node every ``interval``."""
+        directive = FaultDirective(
+            kind="mobile",
+            time=time,
+            interval=interval,
+            hops=hops,
+            until=until,
+            fault_type=fault_type,
+        )
+        return cls(directives=(directive,), label=label or f"mobile-{hops}hops")
+
+    # ------------------------------------------------------------------
+    # serialization & hashing
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation of the whole schedule."""
+        return {
+            "schema": SCHEMA,
+            "label": self.label,
+            "directives": [directive.to_json_dict() for directive in self.directives],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "FaultSchedule":
+        """Inverse of :meth:`to_json_dict`."""
+        schema = payload.get("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise ValueError(f"unknown fault-schedule schema {schema!r}; expected {SCHEMA!r}")
+        if "directives" not in payload:
+            raise ValueError("fault schedule payload is missing 'directives'")
+        return cls(
+            directives=tuple(
+                FaultDirective.from_json_dict(item) for item in payload["directives"]
+            ),
+            label=payload.get("label", ""),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))
+
+    def key(self, length: int = 32) -> str:
+        """Content-address of the schedule (truncated SHA-256 of canonical JSON)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:length]
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        grid: HexGrid,
+        rng: np.random.Generator,
+        exclude: Iterable[NodeId] = (),
+    ) -> ScheduledAdversary:
+        """Resolve every random choice into a concrete timed action list.
+
+        Parameters
+        ----------
+        grid:
+            The grid the run executes on.
+        rng:
+            The run's seeded generator; consumed in directive order
+            (placement first, then Byzantine behaviours, hop by hop for
+            mobile faults).  Engines call this *after* the static fault
+            model's draws, so schedule-free specs keep the historical stream.
+        exclude:
+            Nodes that must stay correct (the spec's static faults); random
+            placements also respect their Condition 1 forbidden regions.
+
+        Raises
+        ------
+        RuntimeError
+            When no admissible placement exists (grid too crowded for the
+            requested fault density under Condition 1).
+        """
+        static = {grid.validate_node(node) for node in exclude}
+        # node -> (heal time, fault type) of schedule-injected faults; used to
+        # keep later placements Condition-1-admissible against concurrently
+        # active faults (best effort: overlap is judged against directive
+        # times, which is exact for the built-in generators).
+        active: Dict[NodeId, Tuple[float, str]] = {}
+        actions: List[Tuple[float, AdversaryActionBody]] = []
+
+        def blocked(at_time: float) -> Set[NodeId]:
+            occupied = static | {
+                node for node, (heal_time, _kind) in active.items() if heal_time > at_time
+            }
+            region: Set[NodeId] = set(occupied)
+            for node in occupied:
+                region |= forbidden_region(grid, node)
+            return region
+
+        def pick(candidates: Sequence[NodeId], what: str) -> NodeId:
+            pool = sorted(candidates)
+            if not pool:
+                raise RuntimeError(
+                    f"fault schedule {self.label or self.key(8)!r}: no admissible "
+                    f"node left for {what} under Condition 1"
+                )
+            return pool[int(rng.integers(0, len(pool)))]
+
+        def place(at_time: float, what: str) -> NodeId:
+            banned = blocked(at_time)
+            return pick(
+                [node for node in grid.forwarding_nodes() if node not in banned], what
+            )
+
+        def make_fault(node: NodeId, fault_type: str) -> NodeFault:
+            if fault_type == FaultType.BYZANTINE.value:
+                return NodeFault.byzantine(grid, node, rng=rng)
+            return NodeFault.fail_silent(grid, node)
+
+        def drop_stale_heals(node: NodeId, after: float) -> None:
+            # A heal queued by an earlier episode's `duration` must not outlive
+            # that episode: once the node is healed early (or re-injected), a
+            # later HealNode for it would silently end the *new* fault.
+            actions[:] = [
+                (at_time, action)
+                for at_time, action in actions
+                if not (
+                    isinstance(action, HealNode)
+                    and action.node == node
+                    and at_time > after
+                )
+            ]
+
+        def inject(
+            at_time: float, node: NodeId, fault_type: str, heal_time: float
+        ) -> None:
+            drop_stale_heals(node, at_time)
+            actions.append((at_time, InjectFault(make_fault(node, fault_type))))
+            active[node] = (heal_time, fault_type)
+            if math.isfinite(heal_time):
+                actions.append((heal_time, HealNode(node)))
+
+        for directive in self.directives:
+            time = directive.time
+            if directive.kind == "inject":
+                node = directive.node if directive.node is not None else place(time, "inject")
+                heal_time = time + directive.duration if directive.duration else math.inf
+                inject(time, grid.validate_node(node), directive.fault_type, heal_time)
+            elif directive.kind == "crash":
+                node = directive.node if directive.node is not None else place(time, "crash")
+                node = grid.validate_node(node)
+                drop_stale_heals(node, time)
+                actions.append(
+                    (time, InjectFault(NodeFault.crash(grid, node, crash_time=time)))
+                )
+                heal_time = time + directive.duration if directive.duration else math.inf
+                active[node] = (heal_time, FaultType.CRASH.value)
+                if math.isfinite(heal_time):
+                    actions.append((heal_time, HealNode(node)))
+            elif directive.kind == "heal":
+                if directive.node is not None:
+                    targets = [grid.validate_node(directive.node)]
+                else:
+                    targets = sorted(
+                        node
+                        for node, (heal_time, _kind) in active.items()
+                        if heal_time > time
+                    )
+                for node in targets:
+                    drop_stale_heals(node, time)
+                    actions.append((time, HealNode(node)))
+                    if node in active:
+                        active[node] = (time, active[node][1])
+            elif directive.kind == "flip_behavior":
+                if directive.node is not None:
+                    targets = [grid.validate_node(directive.node)]
+                else:
+                    targets = sorted(
+                        node
+                        for node, (heal_time, kind) in active.items()
+                        if heal_time > time and kind == FaultType.BYZANTINE.value
+                    )
+                for node in targets:
+                    actions.append((time, FlipBehavior(node)))
+            elif directive.kind == "burst":
+                heal_time = time + directive.duration if directive.duration else math.inf
+                for _ in range(directive.count):
+                    node = place(time, "burst member")
+                    inject(time, node, directive.fault_type, heal_time)
+            elif directive.kind == "cluster":
+                heal_time = time + directive.duration if directive.duration else math.inf
+                center = place(time, "cluster center")
+                inject(time, center, directive.fault_type, heal_time)
+                for _ in range(directive.count - 1):
+                    banned = blocked(time)
+                    candidates = [
+                        node
+                        for node in grid.forwarding_nodes()
+                        if node not in banned
+                        and _cyl_distance(grid, node, center) <= directive.radius
+                    ]
+                    member = pick(candidates, f"cluster member near {center}")
+                    inject(time, member, directive.fault_type, heal_time)
+            elif directive.kind == "intermittent_link":
+                link = directive.link
+                if link is None:
+                    links = sorted(
+                        candidate
+                        for candidate in grid.links()
+                        if candidate[1][0] > 0
+                    )
+                    link = links[int(rng.integers(0, len(links)))]
+                behavior = LinkBehavior(directive.behavior)
+                assert directive.period is not None and directive.until is not None
+                cycle_start = time
+                while cycle_start < directive.until:
+                    actions.append((cycle_start, SetLinkBehavior(link, behavior)))
+                    off_time = min(
+                        cycle_start + directive.duty * directive.period, directive.until
+                    )
+                    actions.append(
+                        (off_time, SetLinkBehavior(link, LinkBehavior.CORRECT))
+                    )
+                    cycle_start += directive.period
+            elif directive.kind == "mobile":
+                assert directive.interval is not None
+                end_time = directive.until if directive.until is not None else math.inf
+                current = (
+                    grid.validate_node(directive.node)
+                    if directive.node is not None
+                    else place(time, "mobile fault")
+                )
+                inject(time, current, directive.fault_type, math.inf)
+                for hop in range(1, directive.hops + 1):
+                    hop_time = time + hop * directive.interval
+                    if hop_time >= end_time:
+                        break
+                    banned = blocked(hop_time) - {current}
+                    neighbors = sorted(
+                        {
+                            node
+                            for node in (
+                                list(grid.out_neighbors(current).values())
+                                + list(grid.in_neighbors(current).values())
+                            )
+                            if node[0] > 0 and node not in banned
+                        }
+                    )
+                    actions.append((hop_time, HealNode(current)))
+                    active[current] = (hop_time, directive.fault_type)
+                    if neighbors:
+                        current = neighbors[int(rng.integers(0, len(neighbors)))]
+                    else:
+                        current = place(hop_time, "mobile fault relocation")
+                    inject(hop_time, current, directive.fault_type, math.inf)
+                if math.isfinite(end_time):
+                    actions.append((end_time, HealNode(current)))
+                    active[current] = (end_time, directive.fault_type)
+            else:  # pragma: no cover - unreachable after validation
+                raise ValueError(f"unknown directive kind {directive.kind!r}")
+
+        actions.sort(key=lambda pair: pair[0])  # stable: same-time keep insertion order
+        return ScheduledAdversary(actions=tuple(actions))
+
+
+def _cyl_distance(grid: HexGrid, a: NodeId, b: NodeId) -> int:
+    """Cylindrical hop distance: layer difference plus ring column distance."""
+    column_gap = abs(a[1] - b[1])
+    return abs(a[0] - b[0]) + min(column_gap, grid.width - column_gap)
+
+
+#: Built-in generator families shown by ``hex-repro adversary list``:
+#: name -> (factory, one-line description, example JSON arguments).
+BUILTIN_GENERATORS = {
+    "burst": (
+        FaultSchedule.burst,
+        "f simultaneous random faults at one time, optionally healed later",
+        {"time": 100.0, "count": 3, "fault_type": "byzantine", "duration": 200.0},
+    ),
+    "cluster": (
+        FaultSchedule.cluster,
+        "spatially-correlated faults around a random center (Condition 1 aware)",
+        {"time": 100.0, "count": 3, "radius": 3, "duration": 200.0},
+    ),
+    "intermittent_link": (
+        FaultSchedule.intermittent_link,
+        "one link toggling between correct and stuck with a duty cycle",
+        {"time": 50.0, "period": 40.0, "duty": 0.5, "until": 250.0},
+    ),
+    "mobile_byzantine": (
+        FaultSchedule.mobile_byzantine,
+        "a Byzantine fault wandering to a neighbouring node every interval",
+        {"time": 50.0, "interval": 60.0, "hops": 4, "until": 350.0},
+    ),
+}

@@ -40,11 +40,14 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.adversary.schedule import FaultSchedule
 from repro.clocksource.scenarios import Scenario
 from repro.core.parameters import TimeoutConfig, TimingConfig
 from repro.core.topology import HexGrid
 from repro.engines import RunSpec, available_engines, get_engine
 from repro.engines.base import (
+    DELAY_MODELS,
+    INITIAL_STATES,
     canonical_fault_type,
     canonical_json,
     canonical_positions,
@@ -77,7 +80,9 @@ ENGINES = available_engines()
 KINDS = ("single_pulse", "multi_pulse")
 
 #: Order of the sweep axes; fixes the cartesian enumeration (and therefore the
-#: per-point seed salts) of a cell.
+#: per-point seed salts) of a cell.  The adversary axes (``delay_model``,
+#: ``fault_schedule``) come last so that cells not using them enumerate -- and
+#: salt -- exactly as before they existed.
 AXES = (
     "layers",
     "width",
@@ -86,6 +91,8 @@ AXES = (
     "fault_type",
     "engine",
     "timer_policy",
+    "delay_model",
+    "fault_schedule",
 )
 
 
@@ -98,6 +105,15 @@ def _as_tuple(value: Any) -> Tuple[Any, ...]:
     return (value,)
 
 
+def _canonical_schedule(value: Any) -> Optional[FaultSchedule]:
+    """Coerce one ``fault_schedule`` axis value (None / instance / JSON dict)."""
+    if value is None or isinstance(value, FaultSchedule):
+        return value
+    if isinstance(value, dict):
+        return FaultSchedule.from_json_dict(value)
+    raise TypeError(f"not a FaultSchedule, JSON dict or None: {value!r}")
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """One campaign cell: a cartesian sweep plus per-cell run parameters.
@@ -108,10 +124,15 @@ class SweepSpec:
 
     Attributes
     ----------
-    layers, width, scenario, num_faults, fault_type, engine, timer_policy:
+    layers, width, scenario, num_faults, fault_type, engine, timer_policy, \
+delay_model, fault_schedule:
         The sweep axes, combined cartesian-product style in :data:`AXES`
         order.  ``fault_type`` and ``engine`` are ignored by points with
         ``num_faults == 0`` and ``kind == "multi_pulse"`` respectively.
+        ``fault_schedule`` values are ``None`` (static faults only) or
+        :class:`~repro.adversary.schedule.FaultSchedule` instances (their
+        JSON dicts are accepted and coerced); non-``None`` schedules require
+        every engine on the axis to support them (checked at build time).
     runs:
         Monte Carlo repetitions per point.
     seed_salt:
@@ -128,6 +149,10 @@ class SweepSpec:
     timeouts:
         Optional explicit timeout override for multi-pulse runs, as a
         6-tuple ``(T-_link, T+_link, T-_sleep, T+_sleep, S, sigma)``.
+    initial_states:
+        Optional per-cell initial-state policy for multi-pulse runs
+        (``"clean"`` / ``"random"`` / ``"adversarial"``); ``None`` keeps the
+        historical random-initial-states behaviour.
     label:
         Free-form tag carried through to the records (e.g. ``"byzantine"``).
     """
@@ -139,6 +164,8 @@ class SweepSpec:
     fault_type: Tuple[str, ...] = (FaultType.BYZANTINE.value,)
     engine: Tuple[str, ...] = ("solver",)
     timer_policy: Tuple[str, ...] = (TimerPolicy.UNIFORM.value,)
+    delay_model: Tuple[str, ...] = ("default",)
+    fault_schedule: Tuple[Optional[FaultSchedule], ...] = (None,)
     runs: int = 25
     seed_salt: int = 0
     kind: str = "single_pulse"
@@ -146,6 +173,7 @@ class SweepSpec:
     skew_choice: int = 0
     fixed_fault_positions: Optional[Tuple[Tuple[int, int], ...]] = None
     timeouts: Optional[Tuple[float, ...]] = None
+    initial_states: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -169,11 +197,30 @@ class SweepSpec:
             "timer_policy",
             tuple(canonical_timer_policy(v) for v in _as_tuple(self.timer_policy)),
         )
+        coerce(self, "delay_model", tuple(str(v) for v in _as_tuple(self.delay_model)))
+        coerce(
+            self,
+            "fault_schedule",
+            tuple(_canonical_schedule(v) for v in _as_tuple(self.fault_schedule)),
+        )
         coerce(self, "fixed_fault_positions", canonical_positions(self.fixed_fault_positions))
         coerce(self, "timeouts", canonical_timeouts(self.timeouts))
         for axis in AXES:
             if not getattr(self, axis):
                 raise ValueError(f"axis {axis!r} must have at least one value")
+        for model in self.delay_model:
+            if model not in DELAY_MODELS:
+                raise ValueError(
+                    f"unknown delay_model {model!r}; expected one of {DELAY_MODELS}"
+                )
+        if self.initial_states is not None:
+            if self.initial_states not in INITIAL_STATES:
+                raise ValueError(
+                    f"unknown initial_states {self.initial_states!r}; expected one of "
+                    f"{INITIAL_STATES}"
+                )
+            if self.kind != "multi_pulse":
+                raise ValueError("initial_states is a multi-pulse cell parameter")
         for engine in self.engine:
             if engine not in available_engines():
                 raise ValueError(
@@ -195,6 +242,20 @@ class SweepSpec:
                     f"engine {engine!r} does not support fault injection but the "
                     f"num_faults axis contains {tuple(n for n in self.num_faults if n > 0)}; "
                     "put the fault-free baseline in its own cell"
+                )
+            # Same early-failure discipline for dynamic fault schedules: only
+            # engines advertising supports_fault_schedules may be paired with
+            # a non-None schedule axis value.  (Multi-pulse cells always
+            # execute on the DES backend, which supports schedules.)
+            if (
+                self.kind == "single_pulse"
+                and not capabilities.supports_fault_schedules
+                and any(schedule is not None for schedule in self.fault_schedule)
+            ):
+                raise ValueError(
+                    f"engine {engine!r} cannot execute dynamic fault schedules but "
+                    "the fault_schedule axis contains one; sweep schedules over the "
+                    "'des' engine (put static engines in their own cell)"
                 )
         if self.kind not in KINDS:
             raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
@@ -243,16 +304,37 @@ class SweepSpec:
                 skew_choice=self.skew_choice,
                 fixed_fault_positions=self.fixed_fault_positions,
                 timeouts=self.timeouts,
+                initial_states=self.initial_states,
                 label=self.label,
                 **values,
             )
 
     def to_json_dict(self) -> Dict[str, Any]:
-        """JSON-serializable representation (tuples become lists)."""
+        """JSON-serializable representation (tuples become lists).
+
+        The adversary fields (``delay_model``, ``fault_schedule``,
+        ``initial_states``) are omitted at their defaults so cells that do
+        not use them serialize -- and hash -- exactly as before the adversary
+        layer existed.
+        """
         payload: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
-            if isinstance(value, tuple):
+            if spec_field.name == "fault_schedule":
+                if value == (None,):
+                    continue
+                value = [
+                    schedule.to_json_dict() if schedule is not None else None
+                    for schedule in value
+                ]
+            elif spec_field.name == "delay_model":
+                if value == ("default",):
+                    continue
+                value = list(value)
+            elif spec_field.name == "initial_states":
+                if value is None:
+                    continue
+            elif isinstance(value, tuple):
                 value = [list(item) if isinstance(item, tuple) else item for item in value]
             payload[spec_field.name] = value
         return payload
@@ -282,10 +364,13 @@ class SweepPoint:
     fault_type: str
     engine: str
     timer_policy: str
+    delay_model: str
+    fault_schedule: Optional[FaultSchedule]
     num_pulses: int
     skew_choice: int
     fixed_fault_positions: Optional[Tuple[Tuple[int, int], ...]]
     timeouts: Optional[Tuple[float, ...]]
+    initial_states: Optional[str]
     label: str
 
 
@@ -365,6 +450,9 @@ class CampaignSpec:
                             cell_index=cell_index,
                             point_index=point.point_index,
                             label=point.label,
+                            delay_model=point.delay_model,
+                            fault_schedule=point.fault_schedule,
+                            initial_states=point.initial_states,
                         )
                     )
         return result
@@ -452,13 +540,29 @@ class RunTask:
     cell_index: int
     point_index: int
     label: str = ""
+    delay_model: str = "default"
+    fault_schedule: Optional[FaultSchedule] = None
+    initial_states: Optional[str] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
-        """JSON-serializable representation."""
+        """JSON-serializable representation.
+
+        The adversary fields are omitted at their defaults, so tasks of
+        schedule-free campaigns keep their historical payloads -- and
+        therefore their cache keys and record params -- byte for byte.
+        """
         payload: Dict[str, Any] = {}
         for task_field in fields(self):
             value = getattr(self, task_field.name)
-            if isinstance(value, tuple):
+            if task_field.name == "fault_schedule":
+                if value is None:
+                    continue
+                value = value.to_json_dict()
+            elif task_field.name == "delay_model" and value == "default":
+                continue
+            elif task_field.name == "initial_states" and value is None:
+                continue
+            elif isinstance(value, tuple):
                 value = [list(item) if isinstance(item, tuple) else item for item in value]
             payload[task_field.name] = value
         return payload
@@ -513,11 +617,14 @@ class RunTask:
             num_faults=self.num_faults,
             fault_type=self.fault_type,
             fixed_fault_positions=self.fixed_fault_positions,
+            delay_model=self.delay_model,
             timeouts=self.timeouts if self.kind == "multi_pulse" else None,
             timer_policy=self.timer_policy,
             num_pulses=self.num_pulses,
             entropy=self.entropy,
             run_index=self.run_index,
+            fault_schedule=self.fault_schedule,
+            initial_states=self.initial_states,
         )
 
     def make_grid(self) -> HexGrid:

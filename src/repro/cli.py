@@ -5,7 +5,8 @@ Subcommands
 ``list``
     List all reproducible experiments (tables and figures).
 ``engines``
-    List the registered execution engines and their capabilities.
+    List the registered execution engines and their capabilities
+    (``--json`` for machine-readable output).
 ``run <experiment> [...]``
     Run one experiment and print its text report; ``all`` runs every one.
 ``simulate [...]``
@@ -13,39 +14,51 @@ Subcommands
     (a quick way to explore grid sizes / scenarios / fault counts).
 ``sweep [...]``
     Run a declarative parameter-sweep campaign (grid sizes x scenarios x
-    fault counts x engines), serially or on a worker pool, with an optional
-    resumable on-disk result cache.
+    fault counts x engines x delay models x fault schedules), serially or on
+    a worker pool, with an optional resumable on-disk result cache.
+``adversary <list|validate|preview> [...]``
+    Work with dynamic fault schedules: list the built-in generator families,
+    validate a schedule JSON file, or preview its materialized action
+    timeline on a concrete grid and seed.
 
 Examples
 --------
 ::
 
     hex-repro list
-    hex-repro engines
+    hex-repro engines --json
     hex-repro run table1 --runs 50 --workers 8
-    hex-repro run fig15 --quick
+    hex-repro run recovery --quick
     hex-repro simulate --layers 30 --width 16 --scenario iv --faults 2 --seed 7
     hex-repro simulate --engine des --runs 5
     hex-repro sweep --layers 20,50 --scenarios i,iii --faults 0,1,2 \\
         --runs 25 --workers 4 --out sweep.jsonl
     hex-repro sweep --engine solver,des,clocktree --runs 10
+    hex-repro sweep --engine des --fault-schedule burst.json --runs 10
     hex-repro sweep --spec campaign.json --workers 8 --store .hex-campaigns --resume
+    hex-repro adversary list
+    hex-repro adversary validate burst.json
+    hex-repro adversary preview burst.json --layers 20 --width 10 --seed 7
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.adversary.schedule import BUILTIN_GENERATORS, FaultSchedule
 from repro.analysis.skew import SkewStatistics
 from repro.campaign.records import pooled_statistics, stabilization_times
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.campaign.spec import CampaignSpec, SweepSpec
 from repro.clocksource.scenarios import scenario_label
+from repro.core.topology import HexGrid
 from repro.engines import available_engines, get_engine
+from repro.engines.base import DELAY_MODELS
 from repro.experiments import EXPERIMENTS, load_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_kv, format_table
@@ -81,8 +94,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list all reproducible experiments")
 
-    subparsers.add_parser(
+    engines_parser = subparsers.add_parser(
         "engines", help="list the registered execution engines and their capabilities"
+    )
+    engines_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (one capability record per engine)",
+    )
+
+    adversary_parser = subparsers.add_parser(
+        "adversary", help="list, validate or preview dynamic fault schedules"
+    )
+    adversary_parser.add_argument(
+        "action",
+        choices=("list", "validate", "preview"),
+        help="list built-in generators, validate a schedule file, or preview its timeline",
+    )
+    adversary_parser.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        metavar="FILE",
+        help="fault-schedule JSON file (required for validate/preview)",
+    )
+    adversary_parser.add_argument(
+        "--layers", type=int, default=20, help="preview grid length L"
+    )
+    adversary_parser.add_argument(
+        "--width", type=int, default=10, help="preview grid width W"
+    )
+    adversary_parser.add_argument(
+        "--seed", type=int, default=0, help="preview materialization seed"
     )
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
@@ -153,6 +196,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=_str_list,
         default=["solver"],
         help="comma-separated engines (see 'hex-repro engines')",
+    )
+    sweep_parser.add_argument(
+        "--delay-model",
+        type=_str_list,
+        default=["default"],
+        help=f"comma-separated delay models / adversaries ({','.join(DELAY_MODELS)})",
+    )
+    sweep_parser.add_argument(
+        "--fault-schedule",
+        default=None,
+        metavar="FILE",
+        help=(
+            "fault-schedule JSON file swept as a campaign axis (a top-level list "
+            "sweeps several schedules; requires --engine des)"
+        ),
     )
     sweep_parser.add_argument("--runs", type=int, default=10, help="Monte Carlo runs per point")
     sweep_parser.add_argument("--seed", type=int, default=2013, help="base seed")
@@ -235,12 +293,75 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_engines() -> int:
+def _cmd_engines(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        payload = [
+            {"name": name, **get_engine(name).capabilities.to_json_dict()}
+            for name in available_engines()
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print("Registered execution engines:")
     for name in available_engines():
         capabilities = get_engine(name).capabilities
         print(f"  {name:10s} [{capabilities.summary()}]  {capabilities.description}")
     return 0
+
+
+def _load_schedule_axis(path: str) -> tuple:
+    """Load one schedule (object) or several (top-level list) from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):
+        if not payload:
+            raise ValueError(f"{path}: schedule list must not be empty")
+        return tuple(FaultSchedule.from_json_dict(item) for item in payload)
+    return (FaultSchedule.from_json_dict(payload),)
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print("Built-in fault-schedule generators (repro.adversary.FaultSchedule):")
+        for name, (_factory, description, example) in sorted(BUILTIN_GENERATORS.items()):
+            print(f"  {name:18s} {description}")
+            print(f"  {'':18s}   e.g. FaultSchedule.{name}({_format_kwargs(example)})")
+        print()
+        print(
+            "Schedule files are JSON: "
+            '{"schema": "hex-repro/fault-schedule/v1", "label": "...", '
+            '"directives": [{"kind": "burst", "time": 100.0, "count": 3, ...}, ...]}'
+        )
+        print("Directive kinds: inject, heal, crash, flip_behavior, burst, cluster,")
+        print("intermittent_link, mobile.  See repro.adversary.schedule for fields.")
+        return 0
+
+    if args.file is None:
+        raise ValueError(f"'adversary {args.action}' requires a schedule FILE argument")
+    schedules = _load_schedule_axis(args.file)
+    for index, schedule in enumerate(schedules):
+        label = schedule.label or f"#{index}"
+        print(
+            f"schedule {label}: {len(schedule.directives)} directive(s), "
+            f"key {schedule.key(16)}"
+        )
+        if args.action == "preview":
+            grid = HexGrid(layers=args.layers, width=args.width)
+            adversary = schedule.materialize(
+                grid, np.random.default_rng(args.seed)
+            )
+            print(
+                f"  materialized on a {args.layers}x{args.width} grid "
+                f"(seed {args.seed}): {adversary.num_actions} action(s)"
+            )
+            for line in adversary.describe():
+                print(f"  {line}")
+    if args.action == "validate":
+        print(f"{args.file}: OK")
+    return 0
+
+
+def _format_kwargs(example: dict) -> str:
+    return ", ".join(f"{key}={value!r}" for key, value in example.items())
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -288,6 +409,8 @@ _SPEC_EXCLUSIVE_FLAGS = {
     "--faults": ("faults", [0]),
     "--fault-type": ("fault_type", FaultType.BYZANTINE.value),
     "--engine": ("engine", ["solver"]),
+    "--delay-model": ("delay_model", ["default"]),
+    "--fault-schedule": ("fault_schedule", None),
     "--runs": ("runs", 10),
     "--seed": ("seed", 2013),
     "--salt": ("salt", 0),
@@ -313,6 +436,11 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         # Fail before the campaign is built so a typo surfaces as a one-line
         # CLI error listing the registered engines.
         get_engine(engine)
+    schedule_axis = (
+        _load_schedule_axis(args.fault_schedule)
+        if args.fault_schedule is not None
+        else (None,)
+    )
     cell = SweepSpec(
         layers=tuple(args.layers),
         width=tuple(args.width),
@@ -320,6 +448,8 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         num_faults=tuple(args.faults),
         fault_type=args.fault_type,
         engine=tuple(args.engine),
+        delay_model=tuple(args.delay_model),
+        fault_schedule=schedule_axis,
         runs=args.runs,
         seed_salt=args.salt,
     )
@@ -416,7 +546,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "engines":
-            return _cmd_engines()
+            return _cmd_engines(args)
+        if args.command == "adversary":
+            return _cmd_adversary(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "simulate":

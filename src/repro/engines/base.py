@@ -40,6 +40,8 @@ from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, Union, 
 
 import numpy as np
 
+from repro.adversary.delays import BiasedLinkDelays, MaxSkewDelays
+from repro.adversary.schedule import FaultSchedule
 from repro.clocksource.scenarios import Scenario, parse_scenario
 from repro.core.parameters import TimeoutConfig, TimingConfig
 from repro.core.pulse_solver import PulseSolution
@@ -51,6 +53,7 @@ from repro.simulation.network import TimerPolicy
 __all__ = [
     "KINDS",
     "DELAY_MODELS",
+    "INITIAL_STATES",
     "EngineCapabilities",
     "Engine",
     "RunSpec",
@@ -65,8 +68,15 @@ KINDS = ("single_pulse", "multi_pulse")
 
 #: Delay-model choices a spec can request.  ``"default"`` picks the historical
 #: per-kind default (cached per-link draws for single-pulse runs, fresh
-#: per-message draws for multi-pulse runs); the explicit names force one model.
-DELAY_MODELS = ("default", "uniform", "fresh")
+#: per-message draws for multi-pulse runs); the explicit names force one
+#: model.  ``"max_skew"`` and ``"biased"`` are the delay *adversaries* of
+#: :mod:`repro.adversary.delays`, still confined to ``[d-, d+]``.
+DELAY_MODELS = ("default", "uniform", "fresh", "max_skew", "biased")
+
+#: Initial-state policies of multi-pulse runs.  ``None`` on a spec defers to
+#: the historical ``random_initial_states`` flag; ``"adversarial"`` starts
+#: every node with all memory flags set (one coherent spurious wave at t=0).
+INITIAL_STATES = ("clean", "random", "adversarial")
 
 _PAPER_TIMING = TimingConfig.paper_defaults()
 
@@ -185,6 +195,12 @@ class EngineCapabilities:
         need.  Defaults to ``False`` because the :class:`Engine` protocol
         only requires ``run``; engines that implement the extra methods opt
         in explicitly.
+    supports_fault_schedules:
+        Whether the engine executes the *dynamic* fault schedules of
+        :mod:`repro.adversary` (timed inject/heal/crash/flip events).  Only
+        the discrete-event backend can -- the analytic solver and the
+        clock-tree baseline have no time axis to mutate -- so they reject
+        schedule-carrying specs early via :func:`require_schedule_support`.
     description:
         One-line human-readable summary (shown by ``hex-repro engines``).
     """
@@ -192,6 +208,7 @@ class EngineCapabilities:
     kinds: Tuple[str, ...]
     supports_faults: bool = True
     supports_explicit_inputs: bool = False
+    supports_fault_schedules: bool = False
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -203,9 +220,21 @@ class EngineCapabilities:
         """Compact capability listing, e.g. ``"single_pulse, multi_pulse; faults"``."""
         parts = [", ".join(self.kinds)]
         parts.append("faults" if self.supports_faults else "no faults")
+        if self.supports_fault_schedules:
+            parts.append("fault-schedules")
         if not self.supports_explicit_inputs:
             parts.append("spec-only")
         return "; ".join(parts)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable capability record (``hex-repro engines --json``)."""
+        return {
+            "kinds": list(self.kinds),
+            "supports_faults": self.supports_faults,
+            "supports_explicit_inputs": self.supports_explicit_inputs,
+            "supports_fault_schedules": self.supports_fault_schedules,
+            "description": self.description,
+        }
 
 
 @runtime_checkable
@@ -241,6 +270,18 @@ def require_kind(engine: Engine, spec: "RunSpec") -> None:
         )
 
 
+def require_schedule_support(engine: Engine, spec: "RunSpec") -> None:
+    """Raise a clean capability error for schedule specs on static engines."""
+    if spec.fault_schedule is not None and not engine.capabilities.supports_fault_schedules:
+        label = spec.fault_schedule.label or spec.fault_schedule.key(8)
+        raise ValueError(
+            f"engine {engine.name!r} cannot execute dynamic fault schedules "
+            f"(spec carries schedule {label!r}); time-varying adversaries need "
+            "the discrete-event backend -- run the spec with engine 'des', or "
+            "drop fault_schedule for a static-fault run"
+        )
+
+
 # ----------------------------------------------------------------------
 # run description
 # ----------------------------------------------------------------------
@@ -272,6 +313,16 @@ class RunSpec:
         Timer-draw policy of the DES engine.
     num_pulses, random_initial_states, run_slack:
         Multi-pulse schedule parameters.
+    fault_schedule:
+        Optional dynamic :class:`~repro.adversary.schedule.FaultSchedule`
+        (accepted as an instance or its JSON dict).  Only the DES engine can
+        execute schedules; others fail early with a capability error.
+        Omitted from the canonical JSON when ``None``, so schedule-free specs
+        keep their historical content keys byte for byte.
+    initial_states:
+        Optional initial-state policy for multi-pulse runs, one of
+        :data:`INITIAL_STATES`; ``None`` defers to ``random_initial_states``.
+        Also omitted from the canonical JSON when ``None``.
     entropy, run_index:
         Seed-derivation coordinates (see the module docstring).  ``entropy``
         is the campaign-level ``seed + salt``; ``None`` means "unseeded".
@@ -295,6 +346,8 @@ class RunSpec:
     run_slack: float = 0.0
     entropy: Optional[int] = None
     run_index: int = 0
+    fault_schedule: Optional[FaultSchedule] = None
+    initial_states: Optional[str] = None
 
     def __post_init__(self) -> None:
         coerce = object.__setattr__
@@ -304,12 +357,26 @@ class RunSpec:
         coerce(self, "timer_policy", canonical_timer_policy(self.timer_policy))
         coerce(self, "fixed_fault_positions", canonical_positions(self.fixed_fault_positions))
         coerce(self, "timeouts", canonical_timeouts(self.timeouts))
+        if isinstance(self.fault_schedule, dict):
+            coerce(self, "fault_schedule", FaultSchedule.from_json_dict(self.fault_schedule))
         if self.kind not in KINDS:
             raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
         if self.delay_model not in DELAY_MODELS:
             raise ValueError(
                 f"unknown delay_model {self.delay_model!r}; expected one of {DELAY_MODELS}"
             )
+        if self.initial_states is not None:
+            if self.initial_states not in INITIAL_STATES:
+                raise ValueError(
+                    f"unknown initial_states {self.initial_states!r}; expected one of "
+                    f"{INITIAL_STATES} (or None for the random_initial_states flag)"
+                )
+            if self.kind != "multi_pulse":
+                raise ValueError(
+                    "initial_states is a multi-pulse parameter (arbitrary initial "
+                    "states only exist for stabilization workloads); "
+                    f"got kind {self.kind!r}"
+                )
         if self.layers < 1 or self.width < 3:
             raise ValueError("need layers >= 1 and width >= 3")
         if self.num_faults < 0:
@@ -359,17 +426,37 @@ class RunSpec:
         choice = self.delay_model if self.delay_model != "default" else kind_default
         if choice == "uniform":
             return UniformRandomDelays(timing, rng)
+        if choice == "max_skew":
+            return MaxSkewDelays(timing, self.width)
+        if choice == "biased":
+            return BiasedLinkDelays(timing, rng)
         return FreshUniformDelays(timing, rng)
+
+    def effective_initial_states(self) -> str:
+        """The multi-pulse initial-state policy with the legacy flag folded in."""
+        if self.initial_states is not None:
+            return self.initial_states
+        return "random" if self.random_initial_states else "clean"
 
     # ------------------------------------------------------------------
     # serialization & hashing
     # ------------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, Any]:
-        """JSON-serializable representation (tuples become lists)."""
+        """JSON-serializable representation (tuples become lists).
+
+        The adversary fields (``fault_schedule``, ``initial_states``) are
+        omitted when unset so that schedule-free specs serialize -- and hash
+        -- exactly as they did before the adversary layer existed.
+        """
         payload: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
-            if isinstance(value, tuple):
+            if spec_field.name in ("fault_schedule", "initial_states"):
+                if value is None:
+                    continue
+                if isinstance(value, FaultSchedule):
+                    value = value.to_json_dict()
+            elif isinstance(value, tuple):
                 value = [list(item) if isinstance(item, tuple) else item for item in value]
             payload[spec_field.name] = value
         return payload

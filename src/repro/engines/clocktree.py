@@ -27,7 +27,13 @@ import numpy as np
 from repro.clocktree.delays import TreeDelayConfig, sample_element_delays
 from repro.clocktree.htree import build_htree
 from repro.clocktree.simulation import sink_arrival_times, tree_skew_report
-from repro.engines.base import EngineCapabilities, RunResult, RunSpec, require_kind
+from repro.engines.base import (
+    EngineCapabilities,
+    RunResult,
+    RunSpec,
+    require_kind,
+    require_schedule_support,
+)
 
 __all__ = ["ClockTreeEngine"]
 
@@ -50,6 +56,7 @@ class ClockTreeEngine:
 
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         require_kind(self, spec)
+        require_schedule_support(self, spec)
         if spec.num_faults:
             raise ValueError(
                 f"engine {self.name!r} does not support fault injection "

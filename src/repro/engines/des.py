@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.adversary.runtime import ScheduledAdversary
 from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
 from repro.clocksource.scenarios import Scenario, scenario_layer0_times
 from repro.core.bounds import lemma5_pulse_skew_bound
@@ -103,8 +104,28 @@ class DesEngine:
         kinds=("single_pulse", "multi_pulse"),
         supports_faults=True,
         supports_explicit_inputs=True,
+        supports_fault_schedules=True,
         description="discrete-event simulation of the full node state machines",
     )
+
+    @staticmethod
+    def _materialize_schedule(
+        spec: RunSpec,
+        grid: HexGrid,
+        fault_model: Optional[FaultModel],
+        rng: np.random.Generator,
+    ) -> Optional[ScheduledAdversary]:
+        """Resolve the spec's fault schedule (if any) into concrete actions.
+
+        Draw-order contract: materialization happens immediately *after* the
+        static fault model's draws and consumes the generator only when a
+        schedule is present, so schedule-free specs keep the historical
+        stream bit for bit.
+        """
+        if spec.fault_schedule is None:
+            return None
+        exclude = fault_model.faulty_nodes() if fault_model is not None else ()
+        return spec.fault_schedule.materialize(grid, rng, exclude=exclude)
 
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         """Execute a declarative run (scenario-driven draws)."""
@@ -123,6 +144,7 @@ class DesEngine:
                 generator,
                 fixed_positions=spec.fixed_fault_positions,
             )
+            adversary = self._materialize_schedule(spec, grid, fault_model, generator)
             result = self.single_pulse(
                 grid,
                 timing,
@@ -132,6 +154,7 @@ class DesEngine:
                 delays=spec.make_delays(timing, generator, kind_default="uniform"),
                 timeouts=spec.make_timeouts(),
                 timer_policy=timer_policy,
+                adversary=adversary,
             )
             result.spec = spec
             return result
@@ -144,6 +167,7 @@ class DesEngine:
             generator,
             fixed_positions=spec.fixed_fault_positions,
         )
+        adversary = self._materialize_schedule(spec, grid, fault_model, generator)
         timeouts = spec.make_timeouts()
         if timeouts is None:
             timeouts = scenario_stabilization_timeouts(
@@ -170,6 +194,8 @@ class DesEngine:
             random_initial_states=spec.random_initial_states,
             timer_policy=timer_policy,
             run_slack=spec.run_slack,
+            adversary=adversary,
+            initial_states=spec.effective_initial_states(),
         )
         result.spec = spec
         return result
@@ -185,6 +211,7 @@ class DesEngine:
         delays: Optional[DelayModel] = None,
         timeouts: Optional[TimeoutConfig] = None,
         timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+        adversary: Optional[ScheduledAdversary] = None,
     ) -> RunResult:
         """Propagate one pulse wave through the full state machines."""
         layer0 = validate_layer0(grid, layer0_times)
@@ -206,6 +233,8 @@ class DesEngine:
             timer_policy=timer_policy,
         )
         network.initialize()
+        if adversary is not None:
+            adversary.install(network)
         network.schedule_source_pulses(layer0[np.newaxis, :])
         # Byzantine stuck-at-1 links re-assert themselves forever, so the run
         # must be bounded; by Lemma 5 every correct node that fires at all does
@@ -215,14 +244,23 @@ class DesEngine:
             + (grid.layers + num_faults + 2) * timing.d_max
             + timeouts.t_sleep_max
         )
+        if adversary is not None:
+            # Cover late schedule events plus one full propagation afterwards.
+            horizon = max(
+                horizon,
+                adversary.last_time
+                + (grid.layers + num_faults + 2) * timing.d_max
+                + timeouts.t_sleep_max,
+            )
         network.run(until=horizon)
         trigger_times = network.first_firing_matrix()
+        final_model = self._final_fault_model(network, fault_model, adversary)
         correct_mask = (
-            fault_model.correctness_mask()
-            if fault_model is not None
+            final_model.correctness_mask()
+            if final_model is not None
             else np.ones(grid.shape, dtype=bool)
         )
-        return RunResult(
+        result = RunResult(
             engine=self.name,
             kind="single_pulse",
             grid=grid,
@@ -231,9 +269,33 @@ class DesEngine:
             correct_mask=correct_mask,
             layer0_times=layer0.copy(),
             solution=None,
-            fault_model=fault_model,
+            fault_model=final_model,
             timeouts=timeouts,
         )
+        if adversary is not None:
+            result.metrics["adversary_actions"] = float(adversary.num_actions)
+            result.metrics["adversary_last_time"] = float(adversary.last_time)
+        return result
+
+    @staticmethod
+    def _final_fault_model(
+        network: HexNetwork,
+        fault_model: Optional[FaultModel],
+        adversary: Optional[ScheduledAdversary],
+    ) -> Optional[FaultModel]:
+        """The fault model describing the *end-of-run* state.
+
+        Static runs report the caller's model unchanged; schedule-driven runs
+        report the network's live (mutated) model, normalised to ``None``
+        when every fault has healed -- matching the fault-free convention the
+        analysis layer expects.
+        """
+        if adversary is None:
+            return fault_model
+        final = network.faults
+        if final.num_faulty_nodes == 0 and not final.faulty_links():
+            return None
+        return final
 
     def multi_pulse(
         self,
@@ -248,8 +310,16 @@ class DesEngine:
         random_initial_states: bool = True,
         timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
         run_slack: float = 0.0,
+        adversary: Optional[ScheduledAdversary] = None,
+        initial_states: Optional[str] = None,
     ) -> RunResult:
-        """Run the simulator over a whole schedule of layer-0 pulses."""
+        """Run the simulator over a whole schedule of layer-0 pulses.
+
+        ``initial_states`` (``"clean"`` / ``"random"`` / ``"adversarial"``)
+        overrides the legacy ``random_initial_states`` flag when given;
+        ``adversary`` installs a materialized fault schedule whose timed
+        actions mutate the fault model mid-run.
+        """
         schedule = np.atleast_2d(np.asarray(source_schedule, dtype=float))
         if schedule.shape[1] != grid.width:
             raise ValueError(
@@ -260,6 +330,8 @@ class DesEngine:
             )
         if delays is None:
             delays = FreshUniformDelays(timing, rng)
+        if initial_states is None:
+            initial_states = "random" if random_initial_states else "clean"
 
         network = HexNetwork(
             grid=grid,
@@ -271,8 +343,12 @@ class DesEngine:
             timer_policy=timer_policy,
         )
         network.initialize()
-        if random_initial_states:
+        if adversary is not None:
+            adversary.install(network)
+        if initial_states == "random":
             network.apply_random_initial_states(rng)
+        elif initial_states == "adversarial":
+            network.apply_adversarial_initial_states()
         network.schedule_source_pulses(schedule)
 
         num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
@@ -282,15 +358,24 @@ class DesEngine:
             + timeouts.t_sleep_max
             + run_slack
         )
+        if adversary is not None:
+            horizon = max(
+                horizon,
+                adversary.last_time
+                + (grid.layers + num_faults + 2) * timing.d_max
+                + timeouts.t_sleep_max
+                + run_slack,
+            )
         network.run(until=horizon)
 
+        final_model = self._final_fault_model(network, fault_model, adversary)
         firing_times: Dict[NodeId, List[float]] = {}
         for node in grid.nodes():
-            if fault_model is not None and fault_model.is_faulty(node):
+            if final_model is not None and final_model.is_faulty(node):
                 continue
             firing_times[node] = network.firing_times(node)
 
-        return RunResult(
+        result = RunResult(
             engine=self.name,
             kind="multi_pulse",
             grid=grid,
@@ -298,5 +383,9 @@ class DesEngine:
             timeouts=timeouts,
             source_schedule=schedule,
             firing_times=firing_times,
-            fault_model=fault_model,
+            fault_model=final_model,
         )
+        if adversary is not None:
+            result.metrics["adversary_actions"] = float(adversary.num_actions)
+            result.metrics["adversary_last_time"] = float(adversary.last_time)
+        return result

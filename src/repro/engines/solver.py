@@ -22,6 +22,7 @@ from repro.engines.base import (
     RunResult,
     RunSpec,
     require_kind,
+    require_schedule_support,
     validate_layer0,
 )
 from repro.faults.models import FaultModel
@@ -50,6 +51,7 @@ class SolverEngine:
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         """Execute a declarative single-pulse run (scenario-driven draws)."""
         require_kind(self, spec)
+        require_schedule_support(self, spec)
         generator = rng if rng is not None else spec.rng()
         grid = spec.make_grid()
         timing = spec.make_timing()

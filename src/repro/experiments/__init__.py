@@ -46,6 +46,7 @@ EXPERIMENTS: Dict[str, str] = {
     "theorem1": "repro.experiments.theorem1",
     "clocktree": "repro.experiments.clocktree_comparison",
     "ablation-faults": "repro.experiments.ablation_faulttype",
+    "recovery": "repro.experiments.recovery",
 }
 
 

@@ -90,6 +90,18 @@ class NodeFault:
     link_behaviors: Mapping[NodeId, LinkBehavior] = field(default_factory=dict)
     crash_time: float = math.inf
 
+    def __post_init__(self) -> None:
+        # Validate at *construction*, not only in the convenience constructors:
+        # schedule-driven crash events build NodeFault directly, and a negative
+        # crash time would silently mean "crashed before the run started".
+        if math.isnan(self.crash_time) or self.crash_time < 0:
+            raise ValueError(f"crash time must be non-negative, got {self.crash_time}")
+        if self.fault_type is not FaultType.CRASH and math.isfinite(self.crash_time):
+            raise ValueError(
+                f"crash_time is only meaningful for CRASH faults, got "
+                f"{self.crash_time} for a {self.fault_type.value} fault"
+            )
+
     def behavior_towards(self, destination: NodeId) -> LinkBehavior:
         """The behaviour of the outgoing link towards ``destination``.
 
@@ -210,6 +222,17 @@ class FaultModel:
         """Register a faulty node (replacing any previous fault on that node)."""
         node = self._grid.validate_node(fault.node)
         self._node_faults[node] = fault
+
+    def remove_node_fault(self, node: NodeId) -> Optional[NodeFault]:
+        """De-register a faulty node (a schedule-driven *heal* event).
+
+        The node behaves correctly again from the moment of removal: crash
+        faults lose their ``crash_time`` along with the fault entry, so
+        :meth:`link_behavior` and the engines' activity checks see a correct
+        node regardless of any previously recorded crash.  Returns the removed
+        fault, or ``None`` when the node was not faulty.
+        """
+        return self._node_faults.pop(self._grid.validate_node(node), None)
 
     def add_link_fault(self, link: LinkId, behavior: LinkBehavior) -> None:
         """Register an individually faulty link (source node otherwise correct)."""

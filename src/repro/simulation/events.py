@@ -69,4 +69,16 @@ class WakeUp:
     node: NodeId
 
 
-Event = Union[SourcePulse, MessageArrival, FlagExpiry, WakeUp]
+@dataclass(frozen=True)
+class AdversaryAction:
+    """A scheduled adversary mutation fires (fault injection / heal / ...).
+
+    ``index`` points into the action table installed on the network via
+    :meth:`repro.simulation.network.HexNetwork.install_adversary`; keeping the
+    event itself index-only preserves the "events are pure data" discipline.
+    """
+
+    index: int
+
+
+Event = Union[SourcePulse, MessageArrival, FlagExpiry, WakeUp, AdversaryAction]

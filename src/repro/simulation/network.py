@@ -42,9 +42,16 @@ from repro.core.algorithm import (
 )
 from repro.core.parameters import TimeoutConfig, TimingConfig
 from repro.core.topology import Direction, HexGrid, NodeId
-from repro.faults.models import FaultModel, FaultType, LinkBehavior
+from repro.faults.models import FaultModel, FaultType, LinkBehavior, NodeFault
 from repro.simulation.engine import EventQueue
-from repro.simulation.events import Event, FlagExpiry, MessageArrival, SourcePulse, WakeUp
+from repro.simulation.events import (
+    AdversaryAction,
+    Event,
+    FlagExpiry,
+    MessageArrival,
+    SourcePulse,
+    WakeUp,
+)
 from repro.simulation.links import DelayModel
 
 __all__ = ["TimerPolicy", "HexNetwork"]
@@ -135,6 +142,9 @@ class HexNetwork:
             if entries:
                 self._byzantine_high_inputs[node] = entries
 
+        #: Installed adversary actions (see :meth:`install_adversary`); the
+        #: queue carries only indices into this table.
+        self._adversary_actions: List[object] = []
         self._initialized = False
 
     # ------------------------------------------------------------------
@@ -245,6 +255,178 @@ class HexNetwork:
         for node in sorted(self.automata):
             self._attempt_fire(node, 0.0)
 
+    def apply_adversarial_initial_states(self) -> None:
+        """Put every correct forwarding node into the adversarial initial state.
+
+        Every node starts ready with *all four* memory flags set (expiring at
+        ``T^+_link``): every guard is satisfied at once, so the entire grid
+        fires one spurious wave at ``t = 0`` and then sleeps -- the most
+        violent coherent "arbitrary state" a transient fault can leave behind.
+        Deterministic (no generator draws), so it composes with any seed
+        stream.  Must be called after :meth:`initialize` and before
+        :meth:`run`.
+        """
+        expiry = self.timeouts.t_link_max
+        for node in sorted(self.automata):
+            automaton = self.automata[node]
+            flags = {direction: expiry for direction in INCOMING_DIRECTIONS}
+            automaton.force_state(NodePhase.READY, flags=flags)
+            for direction in INCOMING_DIRECTIONS:
+                self.queue.schedule(expiry, FlagExpiry(node=node, direction=direction, expiry=expiry))
+        for node in sorted(self.automata):
+            self._attempt_fire(node, 0.0)
+
+    # ------------------------------------------------------------------
+    # dynamic adversary hooks (repro.adversary)
+    # ------------------------------------------------------------------
+    def install_adversary(self, actions: Iterable[Tuple[float, object]]) -> None:
+        """Schedule a materialized adversary's timed mutations.
+
+        Parameters
+        ----------
+        actions:
+            ``(time, action)`` pairs; each ``action`` implements
+            ``apply(network, time)`` (see
+            :class:`repro.adversary.runtime.ScheduledAdversary`).  Actions are
+            scheduled in iteration order, which breaks same-time ties
+            deterministically.
+        """
+        for time, action in actions:
+            index = len(self._adversary_actions)
+            self._adversary_actions.append(action)
+            self.queue.schedule(float(time), AdversaryAction(index=index))
+
+    def inject_node_fault(self, fault: NodeFault, time: float) -> None:
+        """Make a node faulty from ``time`` on (dynamic fault injection).
+
+        The node's automaton (if any) stops executing -- :meth:`_node_active`
+        consults the *current* fault model -- and freshly stuck-at-1 outgoing
+        links start asserting themselves at ``time``.  Messages the node sent
+        before ``time`` are already in flight and still arrive, exactly as in
+        hardware.
+        """
+        node = self.grid.validate_node(fault.node)
+        self.faults.add_node_fault(fault)
+        self._register_stuck_high_links(node, time)
+
+    def heal_node(self, node: NodeId, time: float) -> None:
+        """Return a faulty node to correct behaviour from ``time`` on.
+
+        The transient fault ends: the fault entry (including any crash time)
+        is removed, the node's stuck-at-1 output registrations are retracted
+        (receivers' already-set flags persist until their own timeouts, as the
+        hardware's would), and the node resumes with a clean ready state --
+        re-stabilization of the *network* is HEX's job, not the healed
+        node's.  Healing a node that was never faulty is a no-op.
+        """
+        node = self.grid.validate_node(node)
+        removed = self.faults.remove_node_fault(node)
+        if removed is None:
+            return
+        self._unregister_stuck_high_links(node)
+        if node[0] == 0:
+            return
+        automaton = self.automata.get(node)
+        if automaton is None:
+            automaton = HexNodeAutomaton(node=node)
+            self.automata[node] = automaton
+        else:
+            automaton.force_state(NodePhase.READY, flags={})
+        # Stuck-at-1 in-links of *other* faulty neighbours resume driving the
+        # healed node's flags immediately.  Recompute the registry entry from
+        # the live fault model: a statically faulty node had no automaton at
+        # construction, so its in-link registrations were never built.
+        entries: List[Tuple[Direction, NodeId]] = []
+        for direction, source in sorted(
+            self.grid.in_neighbors(node).items(), key=lambda item: item[0].value
+        ):
+            if self.faults.link_behavior((source, node), time=math.inf) is (
+                LinkBehavior.CONSTANT_ONE
+            ):
+                entries.append((direction, source))
+        if entries:
+            self._byzantine_high_inputs[node] = entries
+        else:
+            self._byzantine_high_inputs.pop(node, None)
+        for direction, _source in entries:
+            self._reassert_byzantine_high(node, direction, time)
+
+    def flip_node_behavior(self, node: NodeId, time: float) -> None:
+        """Toggle a Byzantine node's per-link constant-0/constant-1 outputs."""
+        node = self.grid.validate_node(node)
+        fault = self.faults.node_fault(node)
+        if fault is None or fault.fault_type is not FaultType.BYZANTINE:
+            return
+        flipped = {
+            destination: (
+                LinkBehavior.CONSTANT_ZERO
+                if behavior is LinkBehavior.CONSTANT_ONE
+                else LinkBehavior.CONSTANT_ONE
+            )
+            for destination, behavior in fault.link_behaviors.items()
+        }
+        self._unregister_stuck_high_links(node)
+        self.faults.add_node_fault(
+            NodeFault(node=node, fault_type=FaultType.BYZANTINE, link_behaviors=flipped)
+        )
+        self._register_stuck_high_links(node, time)
+
+    def set_link_behavior(self, link: Tuple[NodeId, NodeId], behavior: LinkBehavior, time: float) -> None:
+        """Force one directed link to a behaviour (intermittent-link faults)."""
+        source, destination = link
+        source = self.grid.validate_node(source)
+        destination = self.grid.validate_node(destination)
+        previous = self.faults.link_behavior((source, destination), time=time)
+        self.faults.add_link_fault((source, destination), behavior)
+        if behavior is LinkBehavior.CONSTANT_ONE and previous is not LinkBehavior.CONSTANT_ONE:
+            self._register_one_stuck_high_link(source, destination, time)
+        elif behavior is not LinkBehavior.CONSTANT_ONE and previous is LinkBehavior.CONSTANT_ONE:
+            self._unregister_one_stuck_high_link(source, destination)
+
+    def _register_stuck_high_links(self, node: NodeId, time: float) -> None:
+        """Register (and assert) every stuck-at-1 outgoing link of ``node``."""
+        for destination in sorted(self.grid.out_neighbors(node).values()):
+            if self.faults.link_behavior((node, destination), time=math.inf) is (
+                LinkBehavior.CONSTANT_ONE
+            ):
+                self._register_one_stuck_high_link(node, destination, time)
+
+    def _register_one_stuck_high_link(
+        self, source: NodeId, destination: NodeId, time: float
+    ) -> None:
+        if destination[0] == 0 or destination not in self.automata:
+            return
+        direction = self.grid.direction_between(source, destination)
+        entries = self._byzantine_high_inputs.setdefault(destination, [])
+        if any(existing_source == source for _d, existing_source in entries):
+            return
+        entries.append((direction, source))
+        entries.sort(key=lambda item: item[0].value)
+        self.queue.schedule(
+            float(time),
+            MessageArrival(
+                source=source,
+                destination=destination,
+                direction=direction,
+                from_byzantine_high=True,
+            ),
+        )
+
+    def _unregister_stuck_high_links(self, node: NodeId) -> None:
+        """Retract every stuck-at-1 registration whose source is ``node``."""
+        for destination in sorted(self.grid.out_neighbors(node).values()):
+            self._unregister_one_stuck_high_link(node, destination)
+
+    def _unregister_one_stuck_high_link(self, source: NodeId, destination: NodeId) -> None:
+        entries = self._byzantine_high_inputs.get(destination)
+        if not entries:
+            return
+        remaining = [item for item in entries if item[1] != source]
+        if remaining:
+            self._byzantine_high_inputs[destination] = remaining
+        else:
+            self._byzantine_high_inputs.pop(destination, None)
+
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
@@ -299,11 +481,20 @@ class HexNetwork:
 
     def _handle(self, time: float, event: Event) -> None:
         if isinstance(event, SourcePulse):
+            # Sources that turned faulty mid-run (dynamic injection / crash)
+            # stop generating; statically faulty sources were never scheduled.
+            if not self._node_active(event.node, time):
+                return
             self.source_firings.append(
                 FiringRecord(node=event.node, time=time, guard=None)
             )
             self._broadcast(event.node, time)
         elif isinstance(event, MessageArrival):
+            if event.from_byzantine_high and self.faults.link_behavior(
+                (event.source, event.destination), time=time
+            ) is not LinkBehavior.CONSTANT_ONE:
+                # Stale assertion of a stuck-at-1 link that has since healed.
+                return
             node = event.destination
             automaton = self.automata.get(node)
             if automaton is None or not self._node_active(node, time):
@@ -327,6 +518,8 @@ class HexNetwork:
             if automaton.wake_up(time):
                 for direction, _source in self._byzantine_high_inputs.get(event.node, ()):
                     self._reassert_byzantine_high(event.node, direction, time)
+        elif isinstance(event, AdversaryAction):
+            self._adversary_actions[event.index].apply(self, time)  # type: ignore[attr-defined]
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown event type {type(event)!r}")
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Sweeping grid topologies: boundary conditions and damage as a campaign axis.
+
+The repo's runs were historically pinned to the paper's cylindrical hex grid;
+the ``repro.topologies`` registry makes the grid *shape* sweepable.  This
+example shows the three levels of the API:
+
+* **direct** -- build a topology from a spec string and run one
+  :class:`~repro.engines.base.RunSpec` on it, comparing the analytic solver
+  and the discrete-event testbed on a torus;
+* **campaign** -- sweep ``topology in {cylinder, torus, patch, degraded}``
+  inside one declarative cell and pool the per-topology skew statistics
+  (bit-identical for any worker count, resumable like every campaign);
+* **experiment** -- the packaged ``topology-scaling`` experiment
+  (``hex-repro run topology-scaling``), which additionally pairs every grid
+  size with the H-tree clock-tree baseline.
+
+Run with::
+
+    python examples/topology_scaling.py [--quick]
+
+(``--quick`` uses tiny grids -- the configuration CI smoke-runs.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.campaign.records import pooled_statistics
+from repro.engines import RunSpec, get_engine
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.topology_scaling import run as run_topology_scaling
+from repro.topologies import build_topology, condition1_fault_capacity
+
+
+def direct_run(layers: int, width: int) -> None:
+    """One seeded single-pulse run on a torus, solver vs DES."""
+    spec = RunSpec(
+        kind="single_pulse",
+        layers=layers,
+        width=width,
+        scenario="iii",
+        topology="torus",
+        entropy=2013,
+    )
+    solver = get_engine("solver").run(spec)
+    des = get_engine("des").run(spec)
+    torus = spec.make_grid()
+    print(
+        f"torus {layers}x{width}: {torus.num_nodes} nodes, "
+        f"{torus.num_links()} links, Condition-1 capacity >= "
+        f"{condition1_fault_capacity(torus)}"
+    )
+    print(
+        f"  solver fired all: {solver.all_correct_triggered()}, "
+        f"DES fired all: {des.all_correct_triggered()}, "
+        f"max |solver - DES| trigger-time envelope: "
+        f"{float(np.nanmax(np.abs(solver.trigger_times - des.trigger_times))):.3f} ns"
+    )
+    print()
+
+
+def campaign_sweep(layers: int, width: int, runs: int) -> None:
+    """One cell sweeping the topology axis; pooled skew per topology."""
+    damaged = "degraded:nodes=2,links=2,seed=7"
+    cell = SweepSpec(
+        layers=layers,
+        width=width,
+        scenario="iii",
+        engine="solver",
+        topology=("cylinder", "torus", "patch", damaged),
+        runs=runs,
+        seed_salt=0,
+    )
+    campaign = CampaignSpec(name="topology-example", seed=2013, cells=(cell,))
+    result = CampaignRunner(campaign, progress=False).run()
+    rows = []
+    for (_cell, _point), records in result.grouped().items():
+        stats = pooled_statistics(records).as_row()
+        grid = records[0].make_grid()
+        rows.append(
+            [
+                records[0].params.get("topology", "cylinder"),
+                getattr(grid, "num_present_nodes", grid.num_nodes),
+                grid.num_links(),
+                stats["intra_avg"],
+                stats["intra_max"],
+                stats["inter_max"],
+            ]
+        )
+    print(
+        format_table(
+            ["topology", "nodes", "links", "intra_avg", "intra_max", "inter_max"],
+            rows,
+            title=f"Pooled neighbour skew by topology ({layers}x{width}, {runs} runs)",
+        )
+    )
+    print()
+
+
+def main(quick: bool = False) -> None:
+    if quick:
+        layers, width, runs = 6, 6, 3
+        config = ExperimentConfig.quick()
+    else:
+        layers, width, runs = 20, 12, 10
+        config = ExperimentConfig(runs=10)
+
+    direct_run(layers, width)
+    campaign_sweep(layers, width, runs)
+
+    experiment = run_topology_scaling(config=config)
+    print(experiment.render())
+    print()
+    print(
+        "The wrap-around cylinder and torus keep neighbour skews flat; the\n"
+        "patch pays for its open rim, structural damage costs roughly its\n"
+        "local detour, and the H-tree's adjacent-sink skew grows with the die."
+    )
+    # Sanity for the smoke job: the open rim must actually cost skew.
+    patch_row = next(row for row in experiment.rows if row.topology == "patch")
+    cylinder_row = next(row for row in experiment.rows if row.topology == "cylinder")
+    assert patch_row.intra_max >= cylinder_row.intra_max, "rim should not beat the cylinder"
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Topology-sweep example")
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny-grid smoke configuration (used by CI)"
+    )
+    main(quick=parser.parse_args().quick)

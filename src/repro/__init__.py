@@ -16,6 +16,13 @@ repository root for the full inventory):
     (Definitions 1-2), the worst-case skew bounds (Lemmas 3-5, Corollary 1,
     Theorems 1-2) and deterministic worst-case constructions (Figs. 5 and 17).
 
+``repro.topologies``
+    Pluggable grid shapes behind one protocol, spec grammar and registry:
+    the paper's ``cylinder``, a boundary-free ``torus``, an open-boundary
+    ``patch`` and ``degraded`` grids with seeded punctured nodes / severed
+    links -- all sweepable through ``RunSpec.topology`` and the campaign
+    ``topology`` axis.
+
 ``repro.simulation``
     A discrete-event simulator replacing the paper's ModelSim/VHDL testbed.
 
@@ -103,6 +110,13 @@ from repro.engines import (
 from repro.analysis.skew import SkewStatistics, intra_layer_skews, inter_layer_skews
 from repro.faults.models import FaultModel, FaultType
 from repro.faults.placement import place_faults, check_condition1
+from repro.topologies import (
+    Topology,
+    available_topologies,
+    build_topology,
+    get_topology,
+    register_topology,
+)
 
 __version__ = "1.0.0"
 
@@ -139,5 +153,10 @@ __all__ = [
     "FaultType",
     "place_faults",
     "check_condition1",
+    "Topology",
+    "available_topologies",
+    "build_topology",
+    "get_topology",
+    "register_topology",
     "__version__",
 ]

@@ -594,9 +594,14 @@ class FaultSchedule:
 
 
 def _cyl_distance(grid: HexGrid, a: NodeId, b: NodeId) -> int:
-    """Cylindrical hop distance: layer difference plus ring column distance."""
-    column_gap = abs(a[1] - b[1])
-    return abs(a[0] - b[0]) + min(column_gap, grid.width - column_gap)
+    """Topology-aware structural distance for the cluster radius.
+
+    Delegates to the grid's own metric so cluster generators respect the
+    boundary conditions (the patch has no column wrap, the torus also wraps
+    the layer axis).  On the cylinder this is exactly the historical
+    layer-difference-plus-ring-distance value.
+    """
+    return grid.node_distance(a, b)
 
 
 #: Built-in generator families shown by ``hex-repro adversary list``:

@@ -104,7 +104,8 @@ def skew_vs_distance(
     faulty = fault_model.faulty_nodes()
     if not faulty:
         raise ValueError("skew_vs_distance requires at least one faulty node")
-    skews = intra_layer_skews(times, fault_model.correctness_mask())
+    wrap = bool(getattr(grid, "column_wrap", True))
+    skews = intra_layer_skews(times, fault_model.correctness_mask(), wrap=wrap)
 
     # Distance of every node to the nearest faulty node (undirected hops).
     distance = np.full(grid.shape, np.inf)

@@ -52,7 +52,7 @@ def _sanitize(times: np.ndarray, correct_mask: Optional[np.ndarray]) -> np.ndarr
 
 
 def intra_layer_skews(
-    times: np.ndarray, correct_mask: Optional[np.ndarray] = None
+    times: np.ndarray, correct_mask: Optional[np.ndarray] = None, wrap: bool = True
 ) -> np.ndarray:
     """Absolute skews between same-layer neighbours.
 
@@ -64,6 +64,10 @@ def intra_layer_skews(
     correct_mask:
         Optional boolean mask of nodes to *include* (e.g. the correctness mask,
         possibly further restricted by the h-hop fault exclusion).
+    wrap:
+        Whether the column axis wraps.  ``False`` (the open-boundary patch
+        topology) drops the ``(W-1, 0)`` pair: those columns are not
+        neighbours, so their skew is not a defined quantity.
 
     Returns
     -------
@@ -74,13 +78,19 @@ def intra_layer_skews(
     """
     clean = _sanitize(times, correct_mask)
     right = np.roll(clean, -1, axis=1)
-    return np.abs(clean - right)
+    result = np.abs(clean - right)
+    if not wrap:
+        result[:, -1] = np.nan
+    return result
 
 
 def inter_layer_skews(
-    times: np.ndarray, correct_mask: Optional[np.ndarray] = None
+    times: np.ndarray, correct_mask: Optional[np.ndarray] = None, wrap: bool = True
 ) -> np.ndarray:
     """Signed skews of every node relative to its two lower-layer neighbours.
+
+    ``wrap=False`` (open-boundary topologies) drops the lower-*right* skew of
+    the last column, whose neighbour index would wrap to column 0.
 
     Returns
     -------
@@ -96,6 +106,8 @@ def inter_layer_skews(
     below_right = np.roll(clean[:-1, :], -1, axis=1)
     result[1:, :, 0] = clean[1:, :] - below
     result[1:, :, 1] = clean[1:, :] - below_right
+    if not wrap:
+        result[:, -1, 1] = np.nan
     return result
 
 
@@ -126,13 +138,14 @@ def collect_intra_values(
     runs: Iterable[np.ndarray],
     masks: Optional[Iterable[Optional[np.ndarray]]] = None,
     skip_layer0: bool = True,
+    wrap: bool = True,
 ) -> np.ndarray:
     """Pool all intra-layer skew samples of a set of runs into one flat array."""
     values: List[np.ndarray] = []
     masks_list = list(masks) if masks is not None else None
     for index, times in enumerate(runs):
         mask = masks_list[index] if masks_list is not None else None
-        skews = intra_layer_skews(times, mask)
+        skews = intra_layer_skews(times, mask, wrap=wrap)
         if skip_layer0:
             skews = skews[1:, :]
         values.append(skews.ravel())
@@ -145,13 +158,14 @@ def collect_intra_values(
 def collect_inter_values(
     runs: Iterable[np.ndarray],
     masks: Optional[Iterable[Optional[np.ndarray]]] = None,
+    wrap: bool = True,
 ) -> np.ndarray:
     """Pool all inter-layer skew samples of a set of runs into one flat array."""
     values: List[np.ndarray] = []
     masks_list = list(masks) if masks is not None else None
     for index, times in enumerate(runs):
         mask = masks_list[index] if masks_list is not None else None
-        skews = inter_layer_skews(times, mask)
+        skews = inter_layer_skews(times, mask, wrap=wrap)
         values.append(skews[1:, :, :].ravel())
     if not values:
         return np.empty(0, dtype=float)
@@ -198,20 +212,28 @@ class SkewStatistics:
 
     @classmethod
     def from_times(
-        cls, times: np.ndarray, correct_mask: Optional[np.ndarray] = None
+        cls,
+        times: np.ndarray,
+        correct_mask: Optional[np.ndarray] = None,
+        wrap: bool = True,
     ) -> "SkewStatistics":
         """Statistics of a single run."""
-        return cls.from_runs([times], [correct_mask])
+        return cls.from_runs([times], [correct_mask], wrap=wrap)
 
     @classmethod
     def from_runs(
         cls,
         runs: Sequence[np.ndarray],
         masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        wrap: bool = True,
     ) -> "SkewStatistics":
-        """Statistics pooled over a whole simulation set ``R`` of runs."""
-        intra = collect_intra_values(runs, masks)
-        inter = collect_inter_values(runs, masks)
+        """Statistics pooled over a whole simulation set ``R`` of runs.
+
+        ``wrap=False`` drops the wrap-around column pair (open-boundary
+        topologies; see :func:`intra_layer_skews`).
+        """
+        intra = collect_intra_values(runs, masks, wrap=wrap)
+        inter = collect_inter_values(runs, masks, wrap=wrap)
         return cls.from_values(intra, inter, num_runs=len(runs))
 
     def as_row(self) -> Dict[str, float]:

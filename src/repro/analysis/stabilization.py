@@ -149,8 +149,9 @@ def pulse_skew_ok(
     if not np.all(pulse_counts[forwarding_mask] == 1):
         return False
 
-    intra = intra_layer_skews(pulse_times, correct_mask)
-    inter = inter_layer_skews(pulse_times, correct_mask)
+    wrap = bool(getattr(grid, "column_wrap", True))
+    intra = intra_layer_skews(pulse_times, correct_mask, wrap=wrap)
+    inter = inter_layer_skews(pulse_times, correct_mask, wrap=wrap)
     for layer in range(1, grid.layers + 1):
         layer_intra = intra[layer, :]
         layer_intra = layer_intra[np.isfinite(layer_intra)]
@@ -206,6 +207,10 @@ def stabilization_time(
         if result.fault_model is not None
         else np.ones(grid.shape, dtype=bool)
     )
+    # Structurally absent or unreachable nodes (degraded-topology holes and
+    # the guard-deadlocked nodes above them) never fire and must not be
+    # required to; the criterion judges the live part of the fabric.
+    correct_mask &= grid.pulse_reachable_mask()
 
     ok = np.zeros(assignment.num_pulses, dtype=bool)
     for pulse in range(assignment.num_pulses):

@@ -27,14 +27,16 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field, fields
+from functools import lru_cache
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.locality import inclusion_mask
-from repro.analysis.skew import SkewStatistics
+from repro.analysis.skew import SkewStatistics, collect_inter_values, collect_intra_values
 from repro.core.topology import HexGrid, NodeId
 from repro.faults.models import FaultModel, NodeFault
+from repro.topologies import DEFAULT_TOPOLOGY, build_topology, topology_column_wrap
 
 __all__ = [
     "RunRecord",
@@ -51,6 +53,20 @@ SCHEMA = "hex-repro/run-record/v1"
 
 #: Sentinel strings for non-finite floats in strict-JSON serialization.
 _NONFINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+
+
+@lru_cache(maxsize=64)
+def _cached_grid(topology: str, layers: int, width: int) -> HexGrid:
+    """Shared grid instances for record reconstruction.
+
+    Every record of a campaign point names the same (topology, layers,
+    width), and topology construction now eagerly builds the full neighbour
+    tables (degraded grids additionally re-derive their damage), so pooled
+    statistics over thousands of records would rebuild identical graphs.
+    Grids are immutable and equality-keyed by their identity, so sharing one
+    instance per spec is safe.
+    """
+    return build_topology(topology, layers, width)
 
 
 def _encode_json_safe(value: Any) -> Any:
@@ -140,8 +156,22 @@ class RunRecord:
         return np.asarray(self.trigger_times, dtype=float)
 
     def make_grid(self) -> HexGrid:
-        """The grid the run used (reconstructed from the recorded parameters)."""
-        return HexGrid(layers=int(self.params["layers"]), width=int(self.params["width"]))
+        """The grid the run used (reconstructed from the recorded parameters).
+
+        Honours the recorded ``topology`` parameter; its absence means the
+        cylinder (records written before the topology layer existed carry no
+        such key).  Instances are shared across records of the same spec --
+        treat them as immutable.
+        """
+        return _cached_grid(
+            self.params.get("topology", DEFAULT_TOPOLOGY),
+            int(self.params["layers"]),
+            int(self.params["width"]),
+        )
+
+    def column_wrap(self) -> bool:
+        """Whether the record's topology wraps the column axis."""
+        return topology_column_wrap(self.params.get("topology", DEFAULT_TOPOLOGY))
 
     # ------------------------------------------------------------------
     # serialization
@@ -249,9 +279,20 @@ def pooled_statistics(records: Sequence[RunRecord], hops: int = 0) -> SkewStatis
     """
     if not records:
         raise ValueError("at least one record is required")
-    runs = [record.trigger_matrix() for record in records]
-    masks = [record_mask(record, hops=hops) for record in records]
-    return SkewStatistics.from_runs(runs, masks)
+    # Pool with each record's own wrap flag: a record list mixing topologies
+    # (e.g. records_for(cell_index=...) across a topology axis) must drop the
+    # wrap-around pair for its patch runs while keeping it for the cylinders.
+    intra_chunks = []
+    inter_chunks = []
+    for record in records:
+        times = record.trigger_matrix()
+        mask = record_mask(record, hops=hops)
+        wrap = record.column_wrap()
+        intra_chunks.append(collect_intra_values([times], [mask], wrap=wrap))
+        inter_chunks.append(collect_inter_values([times], [mask], wrap=wrap))
+    return SkewStatistics.from_values(
+        np.concatenate(intra_chunks), np.concatenate(inter_chunks), num_runs=len(records)
+    )
 
 
 def group_by_cell(records: Iterable[RunRecord]) -> Dict[int, List[RunRecord]]:

@@ -53,7 +53,11 @@ def _execute_single_pulse(task: RunTask, engine: Engine) -> RunRecord:
     result = engine.run(task.to_run_spec())
     fault_model = result.fault_model
     mask = fault_model.correctness_mask() if fault_model is not None else None
-    skew_row = SkewStatistics.from_times(result.trigger_times, mask).as_row()
+    # The clock-tree engine reports a sink-array matrix whose shape differs
+    # from the hex grid's; its rows/columns are plain physical adjacency, so
+    # the (wrapping) default applies.  Hex grids report their own wrap flag.
+    wrap = bool(getattr(result.grid, "column_wrap", True))
+    skew_row = SkewStatistics.from_times(result.trigger_times, mask, wrap=wrap).as_row()
     faulty = tuple(fault_model.faulty_nodes()) if fault_model is not None else ()
     return RunRecord(
         key=task.key(),
@@ -81,9 +85,14 @@ def _execute_multi_pulse(task: RunTask, engine: Engine) -> RunRecord:
     fault_model = result.fault_model
 
     layer0_spread = scenario_layer0_spread(parse_scenario(task.scenario), grid.width, timing)
+    # Lateral-trigger margin of the topology (0 on the cylinder): the sigma
+    # bounds are derived for centrally-triggered nodes, and rim/hole-adjacent
+    # nodes legitimately run about one d+ behind per structural obstacle --
+    # the same margin the DES engine charges on its Condition 2 timeouts.
+    extra_skew = grid.condition2_extra_hops() * timing.d_max
 
     def intra_bound(layer: int) -> float:
-        return stable_skew_choice(
+        return extra_skew + stable_skew_choice(
             task.skew_choice,
             timing,
             grid.layers,

@@ -59,6 +59,7 @@ from repro.engines.base import (
 )
 from repro.faults.models import FaultType
 from repro.simulation.network import TimerPolicy
+from repro.topologies import DEFAULT_TOPOLOGY, TopologySpec, canonical_topology, validate_topology
 
 __all__ = [
     "ENGINES",
@@ -80,9 +81,10 @@ ENGINES = available_engines()
 KINDS = ("single_pulse", "multi_pulse")
 
 #: Order of the sweep axes; fixes the cartesian enumeration (and therefore the
-#: per-point seed salts) of a cell.  The adversary axes (``delay_model``,
-#: ``fault_schedule``) come last so that cells not using them enumerate -- and
-#: salt -- exactly as before they existed.
+#: per-point seed salts) of a cell.  Axes added after the original seven
+#: (``delay_model``, ``fault_schedule``, ``topology``) come last so that
+#: cells not using them enumerate -- and salt -- exactly as before they
+#: existed.
 AXES = (
     "layers",
     "width",
@@ -93,6 +95,7 @@ AXES = (
     "timer_policy",
     "delay_model",
     "fault_schedule",
+    "topology",
 )
 
 
@@ -125,7 +128,7 @@ class SweepSpec:
     Attributes
     ----------
     layers, width, scenario, num_faults, fault_type, engine, timer_policy, \
-delay_model, fault_schedule:
+delay_model, fault_schedule, topology:
         The sweep axes, combined cartesian-product style in :data:`AXES`
         order.  ``fault_type`` and ``engine`` are ignored by points with
         ``num_faults == 0`` and ``kind == "multi_pulse"`` respectively.
@@ -133,6 +136,10 @@ delay_model, fault_schedule:
         :class:`~repro.adversary.schedule.FaultSchedule` instances (their
         JSON dicts are accepted and coerced); non-``None`` schedules require
         every engine on the axis to support them (checked at build time).
+        ``topology`` values are canonical spec strings of
+        :mod:`repro.topologies` (``"cylinder"`` / ``"torus"`` / ``"patch"``
+        / ``"degraded:..."``); every engine paired with a non-cylinder
+        family must declare support for it (also checked at build time).
     runs:
         Monte Carlo repetitions per point.
     seed_salt:
@@ -166,6 +173,7 @@ delay_model, fault_schedule:
     timer_policy: Tuple[str, ...] = (TimerPolicy.UNIFORM.value,)
     delay_model: Tuple[str, ...] = ("default",)
     fault_schedule: Tuple[Optional[FaultSchedule], ...] = (None,)
+    topology: Tuple[str, ...] = (DEFAULT_TOPOLOGY,)
     runs: int = 25
     seed_salt: int = 0
     kind: str = "single_pulse"
@@ -202,6 +210,11 @@ delay_model, fault_schedule:
             self,
             "fault_schedule",
             tuple(_canonical_schedule(v) for v in _as_tuple(self.fault_schedule)),
+        )
+        coerce(
+            self,
+            "topology",
+            tuple(canonical_topology(v) for v in _as_tuple(self.topology)),
         )
         coerce(self, "fixed_fault_positions", canonical_positions(self.fixed_fault_positions))
         coerce(self, "timeouts", canonical_timeouts(self.timeouts))
@@ -257,6 +270,23 @@ delay_model, fault_schedule:
                     "the fault_schedule axis contains one; sweep schedules over the "
                     "'des' engine (put static engines in their own cell)"
                 )
+        # Topology pairings fail at build time too: dimension lower bounds
+        # per (layers, width) grid point, and engine support per engine on
+        # the axis (multi-pulse cells always execute on the DES backend).
+        for topology in self.topology:
+            for layers_value in self.layers:
+                for width_value in self.width:
+                    validate_topology(topology, layers_value, width_value)
+            family = TopologySpec.parse(topology).family
+            engines_to_check = self.engine if self.kind == "single_pulse" else ("des",)
+            for engine in engines_to_check:
+                if not get_engine(engine).capabilities.supports_topology(family):
+                    raise ValueError(
+                        f"engine {engine!r} does not support topology {topology!r} "
+                        f"(family {family!r}); sweep non-cylinder topologies over "
+                        "the hex engines ('solver'/'des') and keep this engine in "
+                        "its own cylinder-only cell"
+                    )
         if self.kind not in KINDS:
             raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
         if self.runs < 1:
@@ -313,9 +343,9 @@ delay_model, fault_schedule:
         """JSON-serializable representation (tuples become lists).
 
         The adversary fields (``delay_model``, ``fault_schedule``,
-        ``initial_states``) are omitted at their defaults so cells that do
-        not use them serialize -- and hash -- exactly as before the adversary
-        layer existed.
+        ``initial_states``) are omitted at their defaults -- and ``topology``
+        at the all-cylinder default -- so cells that do not use those layers
+        serialize -- and hash -- exactly as before the layers existed.
         """
         payload: Dict[str, Any] = {}
         for spec_field in fields(self):
@@ -329,6 +359,10 @@ delay_model, fault_schedule:
                 ]
             elif spec_field.name == "delay_model":
                 if value == ("default",):
+                    continue
+                value = list(value)
+            elif spec_field.name == "topology":
+                if value == (DEFAULT_TOPOLOGY,):
                     continue
                 value = list(value)
             elif spec_field.name == "initial_states":
@@ -366,6 +400,7 @@ class SweepPoint:
     timer_policy: str
     delay_model: str
     fault_schedule: Optional[FaultSchedule]
+    topology: str
     num_pulses: int
     skew_choice: int
     fixed_fault_positions: Optional[Tuple[Tuple[int, int], ...]]
@@ -453,6 +488,7 @@ class CampaignSpec:
                             delay_model=point.delay_model,
                             fault_schedule=point.fault_schedule,
                             initial_states=point.initial_states,
+                            topology=point.topology,
                         )
                     )
         return result
@@ -543,13 +579,15 @@ class RunTask:
     delay_model: str = "default"
     fault_schedule: Optional[FaultSchedule] = None
     initial_states: Optional[str] = None
+    topology: str = DEFAULT_TOPOLOGY
 
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-serializable representation.
 
-        The adversary fields are omitted at their defaults, so tasks of
-        schedule-free campaigns keep their historical payloads -- and
-        therefore their cache keys and record params -- byte for byte.
+        The adversary fields are omitted at their defaults -- and
+        ``topology`` at the cylinder default -- so tasks of campaigns not
+        using those layers keep their historical payloads, and therefore
+        their cache keys and record params, byte for byte.
         """
         payload: Dict[str, Any] = {}
         for task_field in fields(self):
@@ -561,6 +599,8 @@ class RunTask:
             elif task_field.name == "delay_model" and value == "default":
                 continue
             elif task_field.name == "initial_states" and value is None:
+                continue
+            elif task_field.name == "topology" and value == DEFAULT_TOPOLOGY:
                 continue
             elif isinstance(value, tuple):
                 value = [list(item) if isinstance(item, tuple) else item for item in value]
@@ -625,6 +665,7 @@ class RunTask:
             run_index=self.run_index,
             fault_schedule=self.fault_schedule,
             initial_states=self.initial_states,
+            topology=self.topology,
         )
 
     def make_grid(self) -> HexGrid:

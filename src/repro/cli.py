@@ -7,6 +7,10 @@ Subcommands
 ``engines``
     List the registered execution engines and their capabilities
     (``--json`` for machine-readable output).
+``topologies``
+    List the registered grid topologies with node/link counts on a
+    reference grid, their Condition-1 fault capacity and which engines
+    support each (``--json`` for machine-readable output).
 ``run <experiment> [...]``
     Run one experiment and print its text report; ``all`` runs every one.
 ``simulate [...]``
@@ -27,13 +31,17 @@ Examples
 
     hex-repro list
     hex-repro engines --json
+    hex-repro topologies --json
     hex-repro run table1 --runs 50 --workers 8
     hex-repro run recovery --quick
+    hex-repro run topology-scaling --quick
     hex-repro simulate --layers 30 --width 16 --scenario iv --faults 2 --seed 7
     hex-repro simulate --engine des --runs 5
+    hex-repro simulate --topology torus --runs 5
     hex-repro sweep --layers 20,50 --scenarios i,iii --faults 0,1,2 \\
         --runs 25 --workers 4 --out sweep.jsonl
     hex-repro sweep --engine solver,des,clocktree --runs 10
+    hex-repro sweep --topology cylinder,torus,patch --runs 10
     hex-repro sweep --engine des --fault-schedule burst.json --runs 10
     hex-repro sweep --spec campaign.json --workers 8 --store .hex-campaigns --resume
     hex-repro adversary list
@@ -59,6 +67,12 @@ from repro.clocksource.scenarios import scenario_label
 from repro.core.topology import HexGrid
 from repro.engines import available_engines, get_engine
 from repro.engines.base import DELAY_MODELS
+from repro.topologies import (
+    available_topologies,
+    build_topology,
+    condition1_fault_capacity,
+    get_topology,
+)
 from repro.experiments import EXPERIMENTS, load_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_kv, format_table
@@ -84,6 +98,23 @@ def _str_list(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip() != ""]
 
 
+def _topology_list(text: str) -> List[str]:
+    """Parse a comma-separated topology-spec list.
+
+    Topology specs themselves use commas between parameters
+    (``degraded:nodes=2,seed=3``), so a bare ``key=value`` segment binds to
+    the preceding spec instead of starting a new one:
+    ``"cylinder,degraded:nodes=2,seed=3"`` is two specs, not three.
+    """
+    result: List[str] = []
+    for item in _str_list(text):
+        if result and "=" in item and ":" not in item:
+            result[-1] = f"{result[-1]},{item}"
+        else:
+            result.append(item)
+    return result
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -101,6 +132,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable output (one capability record per engine)",
+    )
+
+    topologies_parser = subparsers.add_parser(
+        "topologies", help="list the registered grid topologies and which engines support each"
+    )
+    topologies_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (one record per topology family)",
+    )
+    topologies_parser.add_argument(
+        "--layers", type=int, default=10, help="reference grid length L for the counts"
+    )
+    topologies_parser.add_argument(
+        "--width", type=int, default=8, help="reference grid width W for the counts"
     )
 
     adversary_parser = subparsers.add_parser(
@@ -161,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine (see 'hex-repro engines')",
     )
     sim_parser.add_argument(
+        "--topology",
+        default="cylinder",
+        help="grid topology spec (see 'hex-repro topologies'), e.g. torus or "
+        "degraded:nodes=3,seed=7",
+    )
+    sim_parser.add_argument(
         "--workers", type=int, default=1, help="worker processes for the run set"
     )
 
@@ -202,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_str_list,
         default=["default"],
         help=f"comma-separated delay models / adversaries ({','.join(DELAY_MODELS)})",
+    )
+    sweep_parser.add_argument(
+        "--topology",
+        type=_topology_list,
+        default=["cylinder"],
+        help="comma-separated topology specs swept as a campaign axis "
+        "(see 'hex-repro topologies'); key=value parameters bind to the "
+        "preceding spec, e.g. cylinder,degraded:nodes=2,seed=3",
     )
     sweep_parser.add_argument(
         "--fault-schedule",
@@ -308,6 +368,59 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    layers, width = args.layers, args.width
+    entries = []
+    for name in available_topologies():
+        family = get_topology(name)
+        entry = {
+            "name": name,
+            "description": family.description,
+            "min_layers": family.min_layers,
+            "min_width": family.min_width,
+            "params": dict(family.param_defaults),
+            "engines": [
+                engine
+                for engine in available_engines()
+                if get_engine(engine).capabilities.supports_topology(name)
+            ],
+        }
+        try:
+            grid = build_topology(name, layers, width)
+            entry.update(
+                reference_grid=f"{layers}x{width}",
+                num_nodes=int(getattr(grid, "num_present_nodes", grid.num_nodes)),
+                num_links=int(grid.num_links()),
+                condition1_fault_capacity=int(condition1_fault_capacity(grid)),
+            )
+        except ValueError as error:
+            entry["error"] = str(error)
+        entries.append(entry)
+    if getattr(args, "json", False):
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    print(f"Registered grid topologies (counts on a {layers}x{width} reference grid):")
+    for entry in entries:
+        print(f"  {entry['name']:10s} {entry['description']}")
+        if "error" in entry:
+            print(f"  {'':10s}   not buildable at {layers}x{width}: {entry['error']}")
+        else:
+            print(
+                f"  {'':10s}   {entry['num_nodes']} nodes, {entry['num_links']} links, "
+                f"Condition-1 capacity >= {entry['condition1_fault_capacity']}, "
+                f"engines: {', '.join(entry['engines'])}"
+            )
+        if entry["params"]:
+            params = ", ".join(f"{key}={value}" for key, value in sorted(entry["params"].items()))
+            print(f"  {'':10s}   parameters (defaults): {params}")
+    print()
+    print(
+        "Topology specs are 'family' or 'family:key=value,...' strings, e.g. "
+        "'torus' or 'degraded:base=patch,nodes=3,links=2,seed=7'."
+    )
+    return 0
+
+
 def _load_schedule_axis(path: str) -> tuple:
     """Load one schedule (object) or several (top-level list) from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -388,11 +501,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         num_faults=args.faults,
         fault_type=fault_type,
         engine=args.engine,
+        topology=args.topology,
         workers=args.workers,
     )
     stats: SkewStatistics = run_set.statistics()
     header = (
-        f"{args.runs} runs on a {args.layers}x{args.width} grid, "
+        f"{args.runs} runs on a {args.layers}x{args.width} {run_set.topology} grid, "
         f"scenario {scenario_label(args.scenario)}, "
         f"{args.faults} {fault_type.value} fault(s), engine {args.engine}"
     )
@@ -411,6 +525,7 @@ _SPEC_EXCLUSIVE_FLAGS = {
     "--engine": ("engine", ["solver"]),
     "--delay-model": ("delay_model", ["default"]),
     "--fault-schedule": ("fault_schedule", None),
+    "--topology": ("topology", ["cylinder"]),
     "--runs": ("runs", 10),
     "--seed": ("seed", 2013),
     "--salt": ("salt", 0),
@@ -450,6 +565,7 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         engine=tuple(args.engine),
         delay_model=tuple(args.delay_model),
         fault_schedule=schedule_axis,
+        topology=tuple(args.topology),
         runs=args.runs,
         seed_salt=args.salt,
     )
@@ -466,6 +582,7 @@ def _render_sweep_summary(result: CampaignResult) -> str:
             cell_index,
             point_index,
             f"{params['layers']}x{params['width']}",
+            params.get("topology", "cylinder"),
             scenario_label(params["scenario"]),
             params["num_faults"],
             params.get("fault_type") or "-",
@@ -493,13 +610,13 @@ def _render_sweep_summary(result: CampaignResult) -> str:
     parts: List[str] = []
     if single_rows:
         headers = [
-            "cell", "pt", "grid", "scenario", "f", "fault_type", "engine", "runs",
+            "cell", "pt", "grid", "topology", "scenario", "f", "fault_type", "engine", "runs",
             "intra_avg", "intra_q95", "intra_max", "inter_max",
         ]
         parts.append(format_table(headers, single_rows, title=f"Campaign {result.spec.name}"))
     if multi_rows:
         headers = [
-            "cell", "pt", "grid", "scenario", "f", "fault_type", "engine", "runs",
+            "cell", "pt", "grid", "topology", "scenario", "f", "fault_type", "engine", "runs",
             "stab_avg", "stabilized",
         ]
         parts.append(
@@ -547,6 +664,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list()
         if args.command == "engines":
             return _cmd_engines(args)
+        if args.command == "topologies":
+            return _cmd_topologies(args)
         if args.command == "adversary":
             return _cmd_adversary(args)
         if args.command == "run":

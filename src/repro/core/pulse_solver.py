@@ -175,6 +175,11 @@ def solve_single_pulse(
     trigger_times = np.full((num_layers, width), math.inf, dtype=float)
     guards = np.full((num_layers, width), -1, dtype=np.int8)
     correct_mask = faults.correctness_mask()
+    # Structurally absent nodes (punctured slots of a degraded topology) are
+    # excluded like faulty nodes: nan trigger time, masked out of statistics.
+    presence = grid.presence_mask()
+    correct_mask &= presence
+    trigger_times[~presence] = math.nan
 
     # arrivals[node] maps incoming Direction -> arrival time of the trigger
     # message on that link (only for links whose message is already determined).

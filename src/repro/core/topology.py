@@ -36,9 +36,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 #: A node identity: ``(layer, column)`` with ``0 <= layer <= L`` and
 #: ``0 <= column < W``.
@@ -117,6 +118,25 @@ TRIGGER_GUARDS: Tuple[Tuple[Direction, Direction], ...] = (
 #: :data:`TRIGGER_GUARDS`.
 GUARD_NAMES: Tuple[str, str, str] = ("left", "central", "right")
 
+#: Iteration order of the in-neighbour tables (the historical dict order of
+#: the on-the-fly ``in_neighbors`` construction -- part of the
+#: reproducibility contract).
+_IN_DIRECTION_ORDER: Tuple[Direction, ...] = (
+    Direction.LEFT,
+    Direction.RIGHT,
+    Direction.LOWER_LEFT,
+    Direction.LOWER_RIGHT,
+)
+
+#: Iteration order of the out-neighbour tables (directions absent at a node
+#: are simply skipped, so layer-0 sources list only their upper neighbours).
+_OUT_DIRECTION_ORDER: Tuple[Direction, ...] = (
+    Direction.LEFT,
+    Direction.RIGHT,
+    Direction.UPPER_LEFT,
+    Direction.UPPER_RIGHT,
+)
+
 
 @dataclass(frozen=True)
 class GridDimensions:
@@ -168,12 +188,108 @@ class HexGrid:
     (3, 3)
     """
 
+    #: Topology family name; the registry key of :mod:`repro.topologies`.
+    #: Subclasses (torus, patch, degraded) override this.
+    family: str = "cylinder"
+
+    #: Whether the column axis wraps (``False`` for the bounded planar patch).
+    #: The analysis layer consults this to drop the non-adjacent wrap-around
+    #: skew pair on open-boundary topologies.
+    column_wrap: bool = True
+
     def __init__(self, layers: int, width: int) -> None:
         if layers < 1:
             raise ValueError(f"HEX grid needs at least one forwarding layer, got L={layers}")
         if width < 3:
             raise ValueError(f"HEX grid needs width of at least 3 columns, got W={width}")
         self._dims = GridDimensions(layers=layers, width=width)
+        self._build_neighbor_tables()
+
+    # ------------------------------------------------------------------
+    # neighbour-table construction (the perf-critical cache)
+    # ------------------------------------------------------------------
+    def _build_neighbor_tables(self) -> None:
+        """Precompute per-node neighbour tables and the link-direction index.
+
+        The DES broadcast loop and the solver's Dijkstra sweep query
+        ``in_neighbors`` / ``out_neighbors`` / ``direction_between`` once per
+        message; recomputing the wrap arithmetic there dominated the hot
+        loops.  The tables are built once at construction from the subclass's
+        :meth:`_raw_neighbor` rule and returned *by reference* -- callers must
+        treat the dicts as immutable.  Insertion orders are part of the
+        reproducibility contract: in-neighbours iterate LEFT, RIGHT,
+        LOWER_LEFT, LOWER_RIGHT and out-neighbours LEFT, RIGHT, UPPER_LEFT,
+        UPPER_RIGHT (exactly the historical on-the-fly dict orders).
+        """
+        self._all_tables: Dict[NodeId, Dict[Direction, NodeId]] = {}
+        self._in_tables: Dict[NodeId, Dict[Direction, NodeId]] = {}
+        self._out_tables: Dict[NodeId, Dict[Direction, NodeId]] = {}
+        self._link_directions: Dict[LinkId, Direction] = {}
+        for layer in range(self.layers + 1):
+            for column in range(self.width):
+                node = (layer, column)
+                all_neighbors: Dict[Direction, NodeId] = {}
+                for direction in Direction:
+                    neighbor = self._raw_neighbor(layer, column, direction)
+                    if neighbor is not None:
+                        all_neighbors[direction] = neighbor
+                self._all_tables[node] = all_neighbors
+                self._in_tables[node] = {
+                    direction: all_neighbors[direction]
+                    for direction in _IN_DIRECTION_ORDER
+                    if direction in all_neighbors
+                }
+                self._out_tables[node] = {
+                    direction: all_neighbors[direction]
+                    for direction in _OUT_DIRECTION_ORDER
+                    if direction in all_neighbors
+                }
+        for node, ins in self._in_tables.items():
+            for direction, source in ins.items():
+                self._link_directions[(source, node)] = direction
+
+    def _raw_neighbor(self, layer: int, column: int, direction: Direction) -> Optional[NodeId]:
+        """The neighbour rule the tables are built from (cylinder semantics).
+
+        Subclasses override this single method to define a different boundary
+        condition; ``(layer, column)`` is already canonical.
+        """
+        if direction is Direction.LEFT:
+            if layer == 0:
+                return None
+            return (layer, self.wrap_column(column - 1))
+        if direction is Direction.RIGHT:
+            if layer == 0:
+                return None
+            return (layer, self.wrap_column(column + 1))
+        if direction is Direction.LOWER_LEFT:
+            if layer == 0:
+                return None
+            return (layer - 1, column)
+        if direction is Direction.LOWER_RIGHT:
+            if layer == 0:
+                return None
+            return (layer - 1, self.wrap_column(column + 1))
+        if direction is Direction.UPPER_LEFT:
+            if layer == self.layers:
+                return None
+            return (layer + 1, self.wrap_column(column - 1))
+        if direction is Direction.UPPER_RIGHT:
+            if layer == self.layers:
+                return None
+            return (layer + 1, column)
+        raise ValueError(f"unknown direction {direction!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def _identity(self) -> Tuple:
+        """Equality/hash key: family, dimensions and family-specific extras."""
+        return (self.family, self._dims, self._extra_identity())
+
+    def _extra_identity(self) -> Tuple:
+        """Family-specific identity extras (e.g. the degraded damage spec)."""
+        return ()
 
     # ------------------------------------------------------------------
     # basic properties
@@ -209,10 +325,10 @@ class HexGrid:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HexGrid):
             return NotImplemented
-        return self._dims == other._dims
+        return self._identity() == other._identity()
 
     def __hash__(self) -> int:
-        return hash(self._dims)
+        return hash(self._identity())
 
     # ------------------------------------------------------------------
     # node helpers
@@ -282,34 +398,9 @@ class HexGrid:
 
         Layer-0 nodes have no intra-layer or lower neighbours (the paper's graph
         only defines links for nodes with ``layer > 0``); layer-L nodes have no
-        upper neighbours.
+        upper neighbours (unless the topology wraps the layer axis).
         """
-        layer, column = self.validate_node(node)
-        if direction is Direction.LEFT:
-            if layer == 0:
-                return None
-            return (layer, self.wrap_column(column - 1))
-        if direction is Direction.RIGHT:
-            if layer == 0:
-                return None
-            return (layer, self.wrap_column(column + 1))
-        if direction is Direction.LOWER_LEFT:
-            if layer == 0:
-                return None
-            return (layer - 1, column)
-        if direction is Direction.LOWER_RIGHT:
-            if layer == 0:
-                return None
-            return (layer - 1, self.wrap_column(column + 1))
-        if direction is Direction.UPPER_LEFT:
-            if layer == self.layers:
-                return None
-            return (layer + 1, self.wrap_column(column - 1))
-        if direction is Direction.UPPER_RIGHT:
-            if layer == self.layers:
-                return None
-            return (layer + 1, column)
-        raise ValueError(f"unknown direction {direction!r}")  # pragma: no cover
+        return self._all_tables[self.validate_node(node)].get(direction)
 
     def in_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]:
         """All in-neighbours of ``node`` keyed by direction.
@@ -317,18 +408,11 @@ class HexGrid:
         For a forwarding node these are exactly the four neighbours whose
         trigger messages Algorithm 1 listens to.  Layer-0 nodes have no
         in-neighbours (they are driven by the clock-source substrate).
+
+        The returned dict is the topology's precomputed table -- treat it as
+        immutable.
         """
-        result: Dict[Direction, NodeId] = {}
-        for direction in (
-            Direction.LEFT,
-            Direction.RIGHT,
-            Direction.LOWER_LEFT,
-            Direction.LOWER_RIGHT,
-        ):
-            neighbor = self.neighbor(node, direction)
-            if neighbor is not None:
-                result[direction] = neighbor
-        return result
+        return self._in_tables[self.validate_node(node)]
 
     def out_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]:
         """All out-neighbours of ``node`` keyed by direction.
@@ -336,33 +420,19 @@ class HexGrid:
         A forwarding node broadcasts its trigger message to its left, right,
         upper-left and upper-right neighbours.  A layer-0 clock source only
         drives its two upper neighbours.
+
+        The returned dict is the topology's precomputed table -- treat it as
+        immutable.
         """
-        layer, _ = self.validate_node(node)
-        result: Dict[Direction, NodeId] = {}
-        directions: Sequence[Direction]
-        if layer == 0:
-            directions = (Direction.UPPER_LEFT, Direction.UPPER_RIGHT)
-        else:
-            directions = (
-                Direction.LEFT,
-                Direction.RIGHT,
-                Direction.UPPER_LEFT,
-                Direction.UPPER_RIGHT,
-            )
-        for direction in directions:
-            neighbor = self.neighbor(node, direction)
-            if neighbor is not None:
-                result[direction] = neighbor
-        return result
+        return self._out_tables[self.validate_node(node)]
 
     def all_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]:
-        """All (in- or out-) neighbours of ``node`` keyed by direction."""
-        result: Dict[Direction, NodeId] = {}
-        for direction in Direction:
-            neighbor = self.neighbor(node, direction)
-            if neighbor is not None:
-                result[direction] = neighbor
-        return result
+        """All (in- or out-) neighbours of ``node`` keyed by direction.
+
+        The returned dict is the topology's precomputed table -- treat it as
+        immutable.
+        """
+        return self._all_tables[self.validate_node(node)]
 
     def direction_between(self, source: NodeId, destination: NodeId) -> Direction:
         """The direction of ``source`` as seen from ``destination``.
@@ -377,10 +447,10 @@ class HexGrid:
         """
         destination = self.validate_node(destination)
         source = self.validate_node(source)
-        for direction, neighbor in self.in_neighbors(destination).items():
-            if neighbor == source:
-                return direction
-        raise ValueError(f"no link from {source} to {destination} in {self!r}")
+        direction = self._link_directions.get((source, destination))
+        if direction is None:
+            raise ValueError(f"no link from {source} to {destination} in {self!r}")
+        return direction
 
     def links(self) -> Iterator[LinkId]:
         """Iterate over all directed links ``(source, destination)`` of the grid."""
@@ -401,12 +471,95 @@ class HexGrid:
         return [(node, neighbor) for neighbor in self.out_neighbors(node).values()]
 
     # ------------------------------------------------------------------
+    # timing margins
+    # ------------------------------------------------------------------
+    def condition2_extra_hops(self) -> int:
+        """Extra ``d+`` hops the Condition 2 timeouts must budget for.
+
+        On the cylinder every node is centrally triggerable, so its two guard
+        messages come from the layer below and Lemma 5's skew bound applies
+        verbatim (0 extra hops).  Topologies with reduced-degree nodes (the
+        patch rim, holes in a degraded grid) force *lateral* triggering,
+        where one guard message originates on the node's own layer and
+        therefore arrives about one link delay later per structural obstacle
+        -- the timeouts (and the simulation horizon) must stretch
+        accordingly or correct nodes forget their flags before the partner
+        message lands.
+        """
+        return 0
+
+    # ------------------------------------------------------------------
+    # presence
+    # ------------------------------------------------------------------
+    def presence_mask(self) -> np.ndarray:
+        """Boolean array of shape ``(L + 1, W)``: ``True`` where a node exists.
+
+        All-true for the intact topologies; degraded grids mark punctured
+        nodes ``False`` so dense matrices can carry ``nan`` at their slots.
+        """
+        return np.ones(self.shape, dtype=bool)
+
+    def pulse_reachable_mask(self) -> np.ndarray:
+        """Nodes a layer-0 pulse wave can structurally trigger.
+
+        Least fixed point of "some firing guard has both in-neighbours
+        present, connected and themselves reachable".  On the intact
+        topologies this equals the presence mask; on degraded grids, holes
+        can *deadlock* nodes above them -- e.g. two punctured nodes one
+        column apart leave the pair between them only guards that reference
+        each other, so neither can ever bootstrap from the wave.  Such nodes
+        are structurally silent (not merely slow), and the stabilization
+        criterion excludes them like punctured slots.  Computed once and
+        cached; a fresh copy is returned per call.
+        """
+        cached = getattr(self, "_pulse_reachable_cache", None)
+        if cached is None:
+            reachable = np.zeros(self.shape, dtype=bool)
+            for layer, column in self.source_nodes():
+                reachable[layer, column] = True
+            forwarding = list(self.forwarding_nodes())
+            changed = True
+            while changed:
+                changed = False
+                for node in forwarding:
+                    if reachable[node]:
+                        continue
+                    ins = self.in_neighbors(node)
+                    for direction_a, direction_b in TRIGGER_GUARDS:
+                        partner_a = ins.get(direction_a)
+                        partner_b = ins.get(direction_b)
+                        if (
+                            partner_a is not None
+                            and partner_b is not None
+                            and reachable[partner_a]
+                            and reachable[partner_b]
+                        ):
+                            reachable[node] = True
+                            changed = True
+                            break
+            cached = reachable
+            self._pulse_reachable_cache = cached
+        return cached.copy()
+
+    # ------------------------------------------------------------------
     # distances
     # ------------------------------------------------------------------
     def cyclic_column_distance(self, i: int, j: int) -> int:
         """The cyclic distance ``|i - j|_W`` of Definition 3."""
         d = (i - j) % self.width
         return min(d, self.width - d)
+
+    def node_distance(self, a: NodeId, b: NodeId) -> int:
+        """Cheap structural distance: layer difference plus column distance.
+
+        This is the metric the adversary layer's *cluster* generator uses to
+        bound spatial fault correlation; subclasses adapt it to their boundary
+        conditions (the torus also wraps the layer axis, the patch drops the
+        column wrap via :meth:`cyclic_column_distance`).
+        """
+        (la, ca) = self.validate_node(a)
+        (lb, cb) = self.validate_node(b)
+        return abs(la - lb) + self.cyclic_column_distance(ca, cb)
 
     def hop_distance(self, a: NodeId, b: NodeId) -> int:
         """Undirected hop distance between two nodes in the grid.
@@ -418,6 +571,10 @@ class HexGrid:
         """
         (la, ca) = self.validate_node(a)
         (lb, cb) = self.validate_node(b)
+        if la == lb == 0 and ca != cb:
+            # Layer 0 has no intra-layer links: one lateral move must be
+            # replaced by an up+down detour through layer 1 (exactly +1).
+            return self.cyclic_column_distance(ca, cb) + 1
         dl = lb - la
         if dl < 0:
             # symmetric: swap so that we always walk upwards

@@ -49,6 +49,13 @@ from repro.core.topology import HexGrid, NodeId
 from repro.faults.models import FaultModel, FaultType
 from repro.simulation.links import DelayModel, FreshUniformDelays, UniformRandomDelays
 from repro.simulation.network import TimerPolicy
+from repro.topologies import (
+    DEFAULT_TOPOLOGY,
+    TopologySpec,
+    build_topology,
+    canonical_topology,
+    validate_topology,
+)
 
 __all__ = [
     "KINDS",
@@ -201,6 +208,15 @@ class EngineCapabilities:
         the discrete-event backend can -- the analytic solver and the
         clock-tree baseline have no time axis to mutate -- so they reject
         schedule-carrying specs early via :func:`require_schedule_support`.
+    supported_topologies:
+        Topology *families* (registry names of :mod:`repro.topologies`) the
+        engine can execute, or ``("*",)`` for "any registered family".
+        Defaults to the paper's cylinder only, so protocol-minimal engines
+        stay honest; the hex engines declare the wildcard and the clock-tree
+        baseline stays cylinder-bound (its H-tree replaces the cylinder die).
+        Specs naming an unsupported topology fail early via
+        :func:`require_topology_support`, and :class:`SweepSpec` rejects the
+        pairing at build time.
     description:
         One-line human-readable summary (shown by ``hex-repro engines``).
     """
@@ -209,12 +225,19 @@ class EngineCapabilities:
     supports_faults: bool = True
     supports_explicit_inputs: bool = False
     supports_fault_schedules: bool = False
+    supported_topologies: Tuple[str, ...] = (DEFAULT_TOPOLOGY,)
     description: str = ""
 
     def __post_init__(self) -> None:
         for kind in self.kinds:
             if kind not in KINDS:
                 raise ValueError(f"unknown kind {kind!r}; expected one of {KINDS}")
+        if not self.supported_topologies:
+            raise ValueError("supported_topologies must name at least one family (or '*')")
+
+    def supports_topology(self, family: str) -> bool:
+        """Whether the engine can execute grids of a topology family."""
+        return "*" in self.supported_topologies or family in self.supported_topologies
 
     def summary(self) -> str:
         """Compact capability listing, e.g. ``"single_pulse, multi_pulse; faults"``."""
@@ -222,6 +245,10 @@ class EngineCapabilities:
         parts.append("faults" if self.supports_faults else "no faults")
         if self.supports_fault_schedules:
             parts.append("fault-schedules")
+        if "*" in self.supported_topologies:
+            parts.append("all topologies")
+        elif self.supported_topologies != (DEFAULT_TOPOLOGY,):
+            parts.append("topologies: " + ", ".join(self.supported_topologies))
         if not self.supports_explicit_inputs:
             parts.append("spec-only")
         return "; ".join(parts)
@@ -233,6 +260,7 @@ class EngineCapabilities:
             "supports_faults": self.supports_faults,
             "supports_explicit_inputs": self.supports_explicit_inputs,
             "supports_fault_schedules": self.supports_fault_schedules,
+            "supported_topologies": list(self.supported_topologies),
             "description": self.description,
         }
 
@@ -282,6 +310,18 @@ def require_schedule_support(engine: Engine, spec: "RunSpec") -> None:
         )
 
 
+def require_topology_support(engine: Engine, spec: "RunSpec") -> None:
+    """Raise a clean capability error for unsupported topology families."""
+    family = spec.topology_family()
+    if not engine.capabilities.supports_topology(family):
+        supported = ", ".join(engine.capabilities.supported_topologies)
+        raise ValueError(
+            f"engine {engine.name!r} does not support topology {spec.topology!r} "
+            f"(family {family!r}; supported: {supported}); run the spec on a "
+            "hex engine ('solver'/'des'), or keep this engine on the cylinder"
+        )
+
+
 # ----------------------------------------------------------------------
 # run description
 # ----------------------------------------------------------------------
@@ -326,6 +366,11 @@ class RunSpec:
     entropy, run_index:
         Seed-derivation coordinates (see the module docstring).  ``entropy``
         is the campaign-level ``seed + salt``; ``None`` means "unseeded".
+    topology:
+        Canonical topology spec string (``"cylinder"`` / ``"torus"`` /
+        ``"patch"`` / ``"degraded:..."``; see :mod:`repro.topologies`).
+        Omitted from the canonical JSON at the cylinder default, so
+        topology-free specs keep their historical content keys byte for byte.
     """
 
     kind: str = "single_pulse"
@@ -348,9 +393,11 @@ class RunSpec:
     run_index: int = 0
     fault_schedule: Optional[FaultSchedule] = None
     initial_states: Optional[str] = None
+    topology: str = DEFAULT_TOPOLOGY
 
     def __post_init__(self) -> None:
         coerce = object.__setattr__
+        coerce(self, "topology", canonical_topology(self.topology))
         coerce(self, "scenario", canonical_scenario(self.scenario))
         if self.fault_type is not None:
             coerce(self, "fault_type", canonical_fault_type(self.fault_type))
@@ -379,6 +426,9 @@ class RunSpec:
                 )
         if self.layers < 1 or self.width < 3:
             raise ValueError("need layers >= 1 and width >= 3")
+        # Family-specific lower bounds (e.g. the torus needs L >= 2) fail at
+        # spec construction with an actionable error, not mid-campaign.
+        validate_topology(self.topology, self.layers, self.width)
         if self.num_faults < 0:
             raise ValueError(f"num_faults must be non-negative, got {self.num_faults}")
         if self.num_pulses < 1:
@@ -399,8 +449,12 @@ class RunSpec:
         return np.random.default_rng(sequence)
 
     def make_grid(self) -> HexGrid:
-        """The run's grid."""
-        return HexGrid(layers=self.layers, width=self.width)
+        """The run's grid, built from the topology spec (cylinder by default)."""
+        return build_topology(self.topology, self.layers, self.width)
+
+    def topology_family(self) -> str:
+        """The topology family name of this spec (``"cylinder"``, ...)."""
+        return TopologySpec.parse(self.topology).family
 
     def make_timing(self) -> TimingConfig:
         """The run's timing configuration."""
@@ -445,13 +499,17 @@ class RunSpec:
         """JSON-serializable representation (tuples become lists).
 
         The adversary fields (``fault_schedule``, ``initial_states``) are
-        omitted when unset so that schedule-free specs serialize -- and hash
-        -- exactly as they did before the adversary layer existed.
+        omitted when unset -- and ``topology`` at the cylinder default -- so
+        that specs not using those layers serialize -- and hash -- exactly as
+        they did before the layers existed.
         """
         payload: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
-            if spec_field.name in ("fault_schedule", "initial_states"):
+            if spec_field.name == "topology":
+                if value == DEFAULT_TOPOLOGY:
+                    continue
+            elif spec_field.name in ("fault_schedule", "initial_states"):
                 if value is None:
                     continue
                 if isinstance(value, FaultSchedule):

@@ -33,6 +33,7 @@ from repro.engines.base import (
     RunSpec,
     require_kind,
     require_schedule_support,
+    require_topology_support,
 )
 
 __all__ = ["ClockTreeEngine"]
@@ -46,6 +47,7 @@ class ClockTreeEngine:
         kinds=("single_pulse",),
         supports_faults=False,
         supports_explicit_inputs=False,
+        supported_topologies=("cylinder",),
         description="H-tree clock-tree baseline (sink arrival times on the same die)",
     )
 
@@ -57,6 +59,7 @@ class ClockTreeEngine:
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         require_kind(self, spec)
         require_schedule_support(self, spec)
+        require_topology_support(self, spec)
         if spec.num_faults:
             raise ValueError(
                 f"engine {self.name!r} does not support fault injection "

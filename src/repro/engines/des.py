@@ -31,6 +31,7 @@ from repro.engines.base import (
     RunResult,
     RunSpec,
     require_kind,
+    require_topology_support,
     validate_layer0,
 )
 from repro.faults.models import FaultModel
@@ -57,11 +58,15 @@ def single_pulse_default_timeouts(
 
     This is the "C = 0" parameter choice of the stabilization experiments: the
     stable skew is bounded by Lemma 5 as ``t_max - t_min + epsilon L + f d+``,
-    where ``layer0_spread`` plays the role of ``t_max - t_min``.
+    where ``layer0_spread`` plays the role of ``t_max - t_min``.  Topologies
+    with laterally-triggered nodes (patch rim, degraded holes) charge their
+    :meth:`~repro.core.topology.HexGrid.condition2_extra_hops` margin on top
+    -- zero on the cylinder, so its timeouts are unchanged.
     """
     stable_skew = lemma5_pulse_skew_bound(
         timing, grid.layers, num_faults, layer0_spread=layer0_spread
     )
+    stable_skew += grid.condition2_extra_hops() * timing.d_max
     return condition2_timeouts(
         timing,
         stable_skew=stable_skew,
@@ -82,15 +87,25 @@ def scenario_layer0_spread(scenario: Scenario, width: int, timing: TimingConfig)
 
 
 def scenario_stabilization_timeouts(
-    scenario: Scenario, width: int, layers: int, num_faults: int, timing: TimingConfig
+    scenario: Scenario,
+    width: int,
+    layers: int,
+    num_faults: int,
+    timing: TimingConfig,
+    extra_hops: int = 0,
 ) -> TimeoutConfig:
     """Condition 2 timeouts from the conservative Lemma 5 stable-skew bound.
 
     Mirrors :func:`repro.experiments.stability.scenario_timeouts` without
-    depending on the experiments layer.
+    depending on the experiments layer.  ``extra_hops`` is the topology's
+    lateral-trigger margin (see
+    :meth:`~repro.core.topology.HexGrid.condition2_extra_hops`); the default
+    of 0 keeps every cylinder caller byte-identical.
     """
     spread = scenario_layer0_spread(scenario, width, timing)
-    stable_skew = spread + timing.epsilon * layers + num_faults * timing.d_max
+    stable_skew = (
+        spread + timing.epsilon * layers + (num_faults + extra_hops) * timing.d_max
+    )
     return condition2_timeouts(
         timing, stable_skew=stable_skew, layers=layers, num_faults=num_faults
     )
@@ -105,6 +120,7 @@ class DesEngine:
         supports_faults=True,
         supports_explicit_inputs=True,
         supports_fault_schedules=True,
+        supported_topologies=("*",),
         description="discrete-event simulation of the full node state machines",
     )
 
@@ -130,6 +146,7 @@ class DesEngine:
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         """Execute a declarative run (scenario-driven draws)."""
         require_kind(self, spec)
+        require_topology_support(self, spec)
         generator = rng if rng is not None else spec.rng()
         grid = spec.make_grid()
         timing = spec.make_timing()
@@ -171,7 +188,12 @@ class DesEngine:
         timeouts = spec.make_timeouts()
         if timeouts is None:
             timeouts = scenario_stabilization_timeouts(
-                scenario, grid.width, grid.layers, spec.num_faults, timing
+                scenario,
+                grid.width,
+                grid.layers,
+                spec.num_faults,
+                timing,
+                extra_hops=grid.condition2_extra_hops(),
             )
         schedule = generate_pulse_schedule(
             PulseScheduleConfig(
@@ -238,10 +260,12 @@ class DesEngine:
         network.schedule_source_pulses(layer0[np.newaxis, :])
         # Byzantine stuck-at-1 links re-assert themselves forever, so the run
         # must be bounded; by Lemma 5 every correct node that fires at all does
-        # so within (L + f) d+ of the last layer-0 firing.
+        # so within (L + f) d+ of the last layer-0 firing -- plus the
+        # topology's lateral-trigger margin (0 on the cylinder).
+        propagation_hops = grid.layers + grid.condition2_extra_hops() + num_faults + 2
         horizon = (
             float(np.nanmax(layer0))
-            + (grid.layers + num_faults + 2) * timing.d_max
+            + propagation_hops * timing.d_max
             + timeouts.t_sleep_max
         )
         if adversary is not None:
@@ -249,7 +273,7 @@ class DesEngine:
             horizon = max(
                 horizon,
                 adversary.last_time
-                + (grid.layers + num_faults + 2) * timing.d_max
+                + propagation_hops * timing.d_max
                 + timeouts.t_sleep_max,
             )
         network.run(until=horizon)
@@ -260,6 +284,7 @@ class DesEngine:
             if final_model is not None
             else np.ones(grid.shape, dtype=bool)
         )
+        correct_mask &= grid.presence_mask()
         result = RunResult(
             engine=self.name,
             kind="single_pulse",
@@ -352,9 +377,10 @@ class DesEngine:
         network.schedule_source_pulses(schedule)
 
         num_faults = fault_model.num_faulty_nodes if fault_model is not None else 0
+        propagation_hops = grid.layers + grid.condition2_extra_hops() + num_faults + 2
         horizon = (
             float(np.nanmax(schedule))
-            + (grid.layers + num_faults + 2) * timing.d_max
+            + propagation_hops * timing.d_max
             + timeouts.t_sleep_max
             + run_slack
         )
@@ -362,7 +388,7 @@ class DesEngine:
             horizon = max(
                 horizon,
                 adversary.last_time
-                + (grid.layers + num_faults + 2) * timing.d_max
+                + propagation_hops * timing.d_max
                 + timeouts.t_sleep_max
                 + run_slack,
             )

@@ -23,6 +23,7 @@ from repro.engines.base import (
     RunSpec,
     require_kind,
     require_schedule_support,
+    require_topology_support,
     validate_layer0,
 )
 from repro.faults.models import FaultModel
@@ -45,6 +46,7 @@ class SolverEngine:
         kinds=("single_pulse",),
         supports_faults=True,
         supports_explicit_inputs=True,
+        supported_topologies=("*",),
         description="analytic single-pulse fixed-point solver (exact under (C1)/(C2))",
     )
 
@@ -52,6 +54,7 @@ class SolverEngine:
         """Execute a declarative single-pulse run (scenario-driven draws)."""
         require_kind(self, spec)
         require_schedule_support(self, spec)
+        require_topology_support(self, spec)
         generator = rng if rng is not None else spec.rng()
         grid = spec.make_grid()
         timing = spec.make_timing()

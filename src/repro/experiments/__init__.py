@@ -47,6 +47,7 @@ EXPERIMENTS: Dict[str, str] = {
     "clocktree": "repro.experiments.clocktree_comparison",
     "ablation-faults": "repro.experiments.ablation_faulttype",
     "recovery": "repro.experiments.recovery",
+    "topology-scaling": "repro.experiments.topology_scaling",
 }
 
 

@@ -126,9 +126,12 @@ def pulse_ok_flags(result: RunResult, num_faults_bound: int = 0) -> np.ndarray:
         if result.fault_model is not None
         else np.ones(grid.shape, dtype=bool)
     )
+    correct_mask &= grid.pulse_reachable_mask()
+
+    extra_skew = grid.condition2_extra_hops() * timing.d_max
 
     def intra_bound(layer: int) -> float:
-        return stable_skew_choice(
+        return extra_skew + stable_skew_choice(
             0, timing, grid.layers, layer, num_faults_bound, layer0_spread=0.0
         )
 

@@ -31,6 +31,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.faults.models import FaultModel, FaultType
 from repro.faults.placement import build_fault_model
 from repro.simulation.network import TimerPolicy
+from repro.topologies import build_topology, topology_column_wrap
 
 __all__ = [
     "RunSetResult",
@@ -71,15 +72,20 @@ class RunSetResult:
     trigger_times: List[np.ndarray] = field(default_factory=list)
     fault_models: List[Optional[FaultModel]] = field(default_factory=list)
     layer0_times: List[np.ndarray] = field(default_factory=list)
+    topology: str = "cylinder"
 
     @property
     def num_runs(self) -> int:
         """Number of runs in the set."""
         return len(self.trigger_times)
 
+    def make_grid(self) -> HexGrid:
+        """The run set's grid (config dimensions on the run set's topology)."""
+        return build_topology(self.topology, self.config.layers, self.config.width)
+
     def masks(self, hops: int = 0) -> List[Optional[np.ndarray]]:
         """Inclusion masks per run for a given fault-exclusion radius ``hops``."""
-        grid = self.config.make_grid()
+        grid = self.make_grid()
         result: List[Optional[np.ndarray]] = []
         for fault_model in self.fault_models:
             if fault_model is None:
@@ -90,7 +96,9 @@ class RunSetResult:
 
     def statistics(self, hops: int = 0) -> SkewStatistics:
         """Pooled skew statistics of the run set (Table 1 / Table 2 row)."""
-        return SkewStatistics.from_runs(self.trigger_times, self.masks(hops))
+        return SkewStatistics.from_runs(
+            self.trigger_times, self.masks(hops), wrap=topology_column_wrap(self.topology)
+        )
 
 
 def _build_fault_model(
@@ -118,6 +126,7 @@ def scenario_set_spec(
     fixed_fault_positions: Optional[Sequence[NodeId]] = None,
     engine: str = "solver",
     timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    topology: str = "cylinder",
     name: str = "scenario-set",
 ) -> CampaignSpec:
     """The one-cell campaign spec equivalent of a :func:`run_scenario_set` call."""
@@ -132,6 +141,7 @@ def scenario_set_spec(
         fault_type=(fault_type or FaultType.BYZANTINE).value,
         engine=engine,
         timer_policy=timer_policy,
+        topology=topology,
         runs=runs if runs is not None else config.runs,
         seed_salt=seed_salt,
         fixed_fault_positions=fixed_fault_positions,
@@ -145,15 +155,17 @@ def run_set_from_records(
     scenario: Union[Scenario, str],
     num_faults: int,
     fault_type: Optional[FaultType],
+    topology: str = "cylinder",
 ) -> RunSetResult:
     """Assemble a :class:`RunSetResult` from campaign records (task order)."""
-    grid = config.make_grid()
     result = RunSetResult(
         config=config,
         scenario=parse_scenario(scenario),
         num_faults=num_faults,
         fault_type=fault_type if num_faults > 0 else None,
+        topology=topology,
     )
+    grid = result.make_grid()
     for record in records:
         result.trigger_times.append(record.trigger_matrix())
         result.fault_models.append(stand_in_fault_model(grid, record.faulty_nodes))
@@ -172,6 +184,7 @@ def run_scenario_set(
     fixed_fault_positions: Optional[Sequence[NodeId]] = None,
     engine: str = "solver",
     timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
+    topology: str = "cylinder",
     workers: int = 1,
 ) -> RunSetResult:
     """Execute a set of independent single-pulse runs.
@@ -204,6 +217,9 @@ def run_scenario_set(
         registered engines when the spec is built.
     timer_policy:
         Timer-draw policy for the DES engine.
+    topology:
+        Topology spec string (:mod:`repro.topologies`); the cylinder default
+        keeps historical results byte-identical.
     workers:
         Worker processes for the underlying campaign runner; results are
         identical for any worker count.
@@ -218,9 +234,12 @@ def run_scenario_set(
         fixed_fault_positions=fixed_fault_positions,
         engine=engine,
         timer_policy=timer_policy,
+        topology=topology,
     )
     campaign = CampaignRunner(spec, workers=workers).run()
-    return run_set_from_records(config, campaign.records, scenario, num_faults, fault_type)
+    return run_set_from_records(
+        config, campaign.records, scenario, num_faults, fault_type, topology=topology
+    )
 
 
 def scenario_statistics(

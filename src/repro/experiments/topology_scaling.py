@@ -1,0 +1,248 @@
+"""Topology-scaling experiment: skew vs grid size across topologies + H-tree.
+
+The paper's title claim is that scaling the honeycomb beats scaling the clock
+tree; this experiment makes the *shape* of the honeycomb part of the
+comparison.  For a ladder of grid sizes it sweeps the registered hex
+topologies (cylinder, torus, open-boundary patch and a damaged grid) on the
+analytic solver and pairs every size with the ``clocktree`` engine as the
+H-tree baseline on the same die:
+
+* how does the neighbour skew grow with ``L x W`` per topology?
+* what does the open rim of the patch cost relative to the wrap-around
+  cylinder, and does the torus's missing boundary buy anything?
+* how much neighbour skew does structural damage (punctured nodes, severed
+  links) add?
+* where does the H-tree's physically-adjacent sink skew overtake each of
+  them?
+
+Execution is campaign-backed: one cell per grid size sweeping the topology
+axis on the hex engine, plus one cylinder-only cell per size for the
+clock-tree baseline (the tree cannot represent a non-cylinder die, which the
+``SweepSpec`` build-time validation enforces).  All cells share the
+campaign's seed discipline, so results are reproducible and worker-count
+independent (``workers=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.campaign.records import RunRecord, pooled_statistics
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.clocksource.scenarios import Scenario
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+
+__all__ = [
+    "SCENARIO",
+    "DEFAULT_TOPOLOGIES",
+    "DEFAULT_SIZES",
+    "QUICK_SIZES",
+    "TopologyScalingRow",
+    "TopologyScalingExperiment",
+    "scaling_spec",
+    "run",
+]
+
+#: Layer-0 scenario of all runs: (iii), the uniform-in-``[0, d+]`` spread
+#: used by the paper's headline skew tables.
+SCENARIO = Scenario.UNIFORM_DMAX
+
+#: Topologies compared by default.  The degraded entry punctures 3 nodes and
+#: severs 3 links (damage seed 1) of the cylinder.
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = (
+    "cylinder",
+    "torus",
+    "patch",
+    "degraded:links=3,nodes=3,seed=1",
+)
+
+#: The ``(layers, width)`` ladder of the scaling sweep.
+DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((10, 8), (20, 12), (40, 16))
+
+#: Smaller ladder used by the quick configuration (CI smoke runs).
+QUICK_SIZES: Tuple[Tuple[int, int], ...] = ((6, 6), (12, 8))
+
+#: The hex execution engine of the sweep (the solver is the paper's
+#: single-pulse semantics and by far the fastest backend).
+HEX_ENGINE = "solver"
+
+#: Per-size salt stride: each size gets two cells (hex sweep + tree
+#: baseline) with disjoint salt ranges.
+_SALT_STRIDE = 20
+
+
+def scaling_spec(
+    config: ExperimentConfig,
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    runs: Optional[int] = None,
+    seed_salt: int = 7000,
+) -> CampaignSpec:
+    """The campaign spec of the scaling sweep (two cells per grid size)."""
+    run_count = runs if runs is not None else config.runs
+    cells: List[SweepSpec] = []
+    salt = seed_salt
+    for layers, width in sizes:
+        cells.append(
+            SweepSpec(
+                layers=layers,
+                width=width,
+                scenario=SCENARIO.value,
+                engine=HEX_ENGINE,
+                topology=tuple(topologies),
+                runs=run_count,
+                seed_salt=salt,
+                label=f"hex-{layers}x{width}",
+            )
+        )
+        salt += _SALT_STRIDE
+        cells.append(
+            SweepSpec(
+                layers=layers,
+                width=width,
+                scenario=SCENARIO.value,
+                engine="clocktree",
+                runs=run_count,
+                seed_salt=salt,
+                label=f"tree-{layers}x{width}",
+            )
+        )
+        salt += _SALT_STRIDE
+    return CampaignSpec(
+        name="topology-scaling", seed=config.seed, timing=config.timing, cells=tuple(cells)
+    )
+
+
+@dataclass
+class TopologyScalingRow:
+    """Pooled skew statistics of one (size, topology) point."""
+
+    layers: int
+    width: int
+    topology: str
+    num_nodes: int
+    num_links: int
+    runs: int
+    intra_avg: float
+    intra_q95: float
+    intra_max: float
+    inter_max: float
+
+    def as_row(self) -> List[object]:
+        return [
+            f"{self.layers}x{self.width}",
+            self.topology,
+            self.num_nodes,
+            self.num_links,
+            self.runs,
+            self.intra_avg,
+            self.intra_q95,
+            self.intra_max,
+            self.inter_max,
+        ]
+
+
+@dataclass
+class TopologyScalingExperiment:
+    """Outcome of the topology-scaling sweep."""
+
+    config: ExperimentConfig
+    sizes: Tuple[Tuple[int, int], ...]
+    topologies: Tuple[str, ...]
+    rows: List[TopologyScalingRow] = field(default_factory=list)
+
+    def row(self, layers: int, width: int, topology: str) -> TopologyScalingRow:
+        """The row of one (size, topology) point (``"h-tree"`` for the baseline)."""
+        for candidate in self.rows:
+            if (candidate.layers, candidate.width, candidate.topology) == (
+                layers,
+                width,
+                topology,
+            ):
+                return candidate
+        raise KeyError(f"no row for {layers}x{width} {topology!r}")
+
+    def render(self) -> str:
+        """Text table: one row per (grid size, topology) plus tree baselines."""
+        headers = [
+            "grid", "topology", "nodes", "links", "runs",
+            "intra_avg", "intra_q95", "intra_max", "inter_max",
+        ]
+        title = (
+            "Topology scaling: pooled neighbour skew per grid shape "
+            f"(scenario {SCENARIO.value}, engine {HEX_ENGINE}; 'h-tree' rows are "
+            "the clock-tree baseline's physically adjacent sink skews)"
+        )
+        return format_table(headers, [row.as_row() for row in self.rows], title=title)
+
+
+def _point_row(records: List[RunRecord]) -> TopologyScalingRow:
+    params = records[0].params
+    layers, width = int(params["layers"]), int(params["width"])
+    stats = pooled_statistics(records).as_row()
+    if params["engine"] == "clocktree":
+        topology_label = "h-tree"
+        # The tree's trigger matrix is its own sink array; report its size.
+        side = len(records[0].trigger_matrix())
+        num_nodes = side * side
+        num_links = num_nodes - 1  # a tree
+    else:
+        topology_label = params.get("topology", "cylinder")
+        grid = records[0].make_grid()
+        num_nodes = getattr(grid, "num_present_nodes", grid.num_nodes)
+        num_links = grid.num_links()
+    return TopologyScalingRow(
+        layers=layers,
+        width=width,
+        topology=topology_label,
+        num_nodes=int(num_nodes),
+        num_links=int(num_links),
+        runs=len(records),
+        intra_avg=stats["intra_avg"],
+        intra_q95=stats["intra_q95"],
+        intra_max=stats["intra_max"],
+        inter_max=stats["inter_max"],
+    )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[int] = None,
+    workers: int = 1,
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    sizes: Optional[Sequence[Tuple[int, int]]] = None,
+) -> TopologyScalingExperiment:
+    """Run the topology-scaling sweep.
+
+    ``sizes`` defaults to :data:`DEFAULT_SIZES`, or :data:`QUICK_SIZES` when
+    the configuration is a scaled-down quick one (CI smoke runs pick this up
+    through ``hex-repro run topology-scaling --quick``).
+    """
+    if config is None:
+        config = ExperimentConfig()
+    if runs is not None:
+        config = config.with_runs(runs)
+    if sizes is None:
+        sizes = QUICK_SIZES if config.layers < 50 else DEFAULT_SIZES
+    sizes = tuple((int(layers), int(width)) for layers, width in sizes)
+    topologies = tuple(topologies)
+
+    spec = scaling_spec(config, topologies=topologies, sizes=sizes)
+    result = CampaignRunner(spec, workers=workers).run()
+
+    experiment = TopologyScalingExperiment(
+        config=config, sizes=sizes, topologies=topologies
+    )
+    for records in result.grouped().values():
+        experiment.rows.append(_point_row(records))
+    # Rows per size: hex topologies in sweep order, then the tree baseline.
+    experiment.rows.sort(
+        key=lambda row: (
+            sizes.index((row.layers, row.width)),
+            row.topology == "h-tree",
+        )
+    )
+    return experiment

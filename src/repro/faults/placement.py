@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.core.topology import HexGrid, NodeId
 from repro.faults.models import FaultModel, FaultType, NodeFault
+from repro.topologies import condition1_fault_capacity
+from repro.topologies.base import condition1_forbidden_region
 
 __all__ = [
     "check_condition1",
@@ -40,6 +42,7 @@ __all__ = [
     "place_faults",
     "build_fault_model",
     "condition1_probability_lower_bound",
+    "condition1_fault_capacity",
 ]
 
 
@@ -80,15 +83,11 @@ def forbidden_region(grid: HexGrid, faulty_node: NodeId) -> Set[NodeId]:
     ``faulty_node`` itself) of all out-neighbours of ``faulty_node`` -- up to 12
     nodes, as stated in the paper.
 
-    The faulty node itself is *not* part of the returned set.
+    The faulty node itself is *not* part of the returned set.  Delegates to
+    :func:`repro.topologies.condition1_forbidden_region` (the single home of
+    the exclusion-zone logic, shared with the greedy capacity bound).
     """
-    faulty_node = grid.validate_node(faulty_node)
-    region: Set[NodeId] = set()
-    for out_neighbor in grid.out_neighbors(faulty_node).values():
-        for in_neighbor in grid.in_neighbors(out_neighbor).values():
-            if in_neighbor != faulty_node:
-                region.add(in_neighbor)
-    return region
+    return condition1_forbidden_region(grid, grid.validate_node(faulty_node))
 
 
 def place_faults(
@@ -172,8 +171,16 @@ def place_faults(
             continue
         assert check_condition1(grid, placed), "internal error: placement violates Condition 1"
         return sorted(placed)
+    # Compute the topology's deterministic packing bound only on the failure
+    # path (it is O(n) forbidden-region sweeps) to make the error actionable:
+    # minimum-size and rim-heavy grids used to fail here with no hint of what
+    # the topology can actually host.
+    capacity = condition1_fault_capacity(grid, include_layer0=include_layer0)
     raise RuntimeError(
-        f"could not place {num_faults} faults under Condition 1 within {max_attempts} attempts"
+        f"could not place {num_faults} faults under Condition 1 within "
+        f"{max_attempts} attempts on {grid!r}; the deterministic greedy packing "
+        f"of this topology hosts {capacity} fault(s) -- lower num_faults to at "
+        f"most that, or use a larger (or less damaged / wrap-around) grid"
     )
 
 

@@ -580,10 +580,12 @@ class HexNetwork:
     def first_firing_matrix(self) -> np.ndarray:
         """Matrix of shape ``(L + 1, W)`` with each node's *first* firing time.
 
-        Nodes that never fired carry ``+inf``; faulty nodes carry ``nan``.
+        Nodes that never fired carry ``+inf``; faulty nodes -- and
+        structurally absent nodes of a degraded topology -- carry ``nan``.
         Intended for single-pulse runs, where the first firing is the pulse.
         """
         times = np.full(self.grid.shape, math.inf, dtype=float)
+        times[~self.grid.presence_mask()] = math.nan
         for layer, column in self.grid.nodes():
             node = (layer, column)
             if self.faults.is_faulty(node):

@@ -1,0 +1,379 @@
+"""Topology protocol, spec grammar and registry.
+
+The paper's headline claim is about *scaling*: HEX's skew and fault tolerance
+are supposed to degrade gracefully with grid size, boundary conditions and
+structural damage -- none of which can be explored while every run is pinned
+to the one cylindrical :class:`~repro.core.topology.HexGrid`.  This module
+makes grid shape a first-class, sweepable axis, mirroring the
+:mod:`repro.engines` registry pattern:
+
+* :class:`Topology` -- the (runtime-checkable) protocol every grid family
+  implements: node/link enumeration, in-/out-neighbour tables keyed by
+  :class:`~repro.core.topology.Direction` roles, layer structure and
+  width/depth metadata, a presence mask for structurally missing nodes, and
+  distance helpers.  :class:`~repro.core.topology.HexGrid` is the reference
+  implementation; the other families subclass it and override the single
+  neighbour rule.
+
+* :class:`TopologySpec` -- a frozen, canonically-stringified description of a
+  topology *family plus its parameters* (e.g. ``"torus"`` or
+  ``"degraded:links=2,nodes=3,seed=7"``).  The string form is what rides in
+  :class:`~repro.engines.base.RunSpec` and sweeps as a campaign axis; params
+  equal to their defaults are dropped, so every spelling of a topology hashes
+  identically.
+
+* **Registry** -- :func:`register_topology` / :func:`get_topology` /
+  :func:`available_topologies` / :func:`build_topology`.  Families validate
+  their dimension lower bounds at registration-declared thresholds
+  (:func:`validate_topology`), so degenerate grids fail with actionable
+  errors before any placement or simulation work starts.
+
+* **Fault-capacity predicate** -- :func:`condition1_fault_capacity` computes
+  a deterministic greedy packing of Condition-1-separated faults, giving a
+  concrete lower bound on how many faults a topology instance can host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Set, Tuple, Union, runtime_checkable
+
+import numpy as np
+
+from repro.core.topology import Direction, LinkId, NodeId
+
+__all__ = [
+    "Topology",
+    "TopologySpec",
+    "TopologyFamily",
+    "register_topology",
+    "unregister_topology",
+    "get_topology",
+    "available_topologies",
+    "build_topology",
+    "canonical_topology",
+    "validate_topology",
+    "topology_column_wrap",
+    "condition1_fault_capacity",
+    "condition1_forbidden_region",
+]
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class Topology(Protocol):
+    """What the simulation stack consumes from a grid topology.
+
+    The solver, the DES network, fault placement and the adversary layer all
+    program against this surface; :class:`~repro.core.topology.HexGrid`
+    provides the reference implementation and the other families inherit it.
+    """
+
+    family: str
+    column_wrap: bool
+
+    @property
+    def layers(self) -> int: ...
+
+    @property
+    def width(self) -> int: ...
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def shape(self) -> Tuple[int, int]: ...
+
+    def nodes(self) -> Iterator[NodeId]: ...
+
+    def forwarding_nodes(self) -> Iterator[NodeId]: ...
+
+    def source_nodes(self) -> List[NodeId]: ...
+
+    def validate_node(self, node: NodeId) -> NodeId: ...
+
+    def in_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]: ...
+
+    def out_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]: ...
+
+    def neighbor(self, node: NodeId, direction: Direction) -> Optional[NodeId]: ...
+
+    def direction_between(self, source: NodeId, destination: NodeId) -> Direction: ...
+
+    def links(self) -> Iterator[LinkId]: ...
+
+    def presence_mask(self) -> np.ndarray: ...
+
+    def cyclic_column_distance(self, i: int, j: int) -> int: ...
+
+    def node_distance(self, a: NodeId, b: NodeId) -> int: ...
+
+
+# ----------------------------------------------------------------------
+# spec grammar
+# ----------------------------------------------------------------------
+def _coerce_param(value: str) -> Union[int, str]:
+    """Parse a spec-string parameter value (integers stay integers)."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology family plus its canonicalised parameters.
+
+    The string grammar is ``family`` or ``family:key=value,key=value`` with
+    keys sorted and parameters equal to their registered defaults omitted --
+    so ``"degraded"``, ``"degraded:base=cylinder"`` and
+    ``"degraded:nodes=0"`` all canonicalise to ``"degraded"`` and hash
+    identically wherever the string rides (RunSpec content keys, sweep axes,
+    cache shards).
+    """
+
+    family: str
+    params: Tuple[Tuple[str, Union[int, str]], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "family", str(self.family))
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(key), value) for key, value in self.params)),
+        )
+
+    @classmethod
+    def parse(cls, text: Union[str, "TopologySpec"]) -> "TopologySpec":
+        """Parse a spec string (idempotent on :class:`TopologySpec` inputs)."""
+        if isinstance(text, TopologySpec):
+            return text
+        text = str(text).strip()
+        if not text:
+            raise ValueError("topology spec must be non-empty")
+        family, _, param_text = text.partition(":")
+        params: List[Tuple[str, Union[int, str]]] = []
+        if param_text:
+            for item in param_text.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key or not value:
+                    raise ValueError(
+                        f"malformed topology parameter {item!r} in {text!r}; "
+                        "expected family:key=value,key=value"
+                    )
+                params.append((key.strip(), _coerce_param(value.strip())))
+        return cls(family=family.strip(), params=tuple(params))
+
+    def to_string(self) -> str:
+        """The canonical string form (sorted keys, defaults dropped)."""
+        family = get_topology(self.family)
+        kept = [
+            f"{key}={value}"
+            for key, value in self.params
+            if family.param_defaults.get(key, object()) != value
+        ]
+        if not kept:
+            return self.family
+        return f"{self.family}:{','.join(kept)}"
+
+    def param_dict(self) -> Dict[str, Union[int, str]]:
+        """Parameters as a plain dict (registered defaults filled in)."""
+        family = get_topology(self.family)
+        merged: Dict[str, Union[int, str]] = dict(family.param_defaults)
+        for key, value in self.params:
+            if key not in family.param_defaults:
+                raise ValueError(
+                    f"unknown parameter {key!r} for topology family "
+                    f"{self.family!r}; known parameters: "
+                    f"{sorted(family.param_defaults) or '(none)'}"
+                )
+            merged[key] = value
+        return merged
+
+    def build(self, layers: int, width: int) -> Topology:
+        """Instantiate the topology on an ``L x W`` grid."""
+        family = get_topology(self.family)
+        family.validate(layers, width, self.param_dict())
+        return family.builder(layers, width, **self.param_dict())
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologyFamily:
+    """One registered topology family.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the ``family`` part of spec strings).
+    builder:
+        ``builder(layers, width, **params) -> Topology``.
+    description:
+        One-line summary shown by ``hex-repro topologies``.
+    min_layers, min_width:
+        Dimension lower bounds, validated with actionable errors *before*
+        construction (and again by the constructors themselves).
+    dimension_rationale:
+        Why the bounds exist; appended to the validation error.
+    param_defaults:
+        Known parameters with their default values (used for canonical
+        spec-string emission and unknown-parameter rejection).
+    """
+
+    name: str
+    builder: Callable[..., Topology]
+    description: str = ""
+    min_layers: int = 1
+    min_width: int = 3
+    dimension_rationale: str = ""
+    param_defaults: Dict[str, Union[int, str]] = field(default_factory=dict)
+
+    def validate(self, layers: int, width: int, params: Dict[str, Union[int, str]]) -> None:
+        """Reject degenerate dimensions with an actionable error."""
+        if layers < self.min_layers or width < self.min_width:
+            rationale = f" ({self.dimension_rationale})" if self.dimension_rationale else ""
+            raise ValueError(
+                f"topology {self.name!r} needs layers >= {self.min_layers} and "
+                f"width >= {self.min_width}, got L={layers}, W={width}{rationale}"
+            )
+
+
+_REGISTRY: Dict[str, TopologyFamily] = {}
+
+
+def register_topology(family: TopologyFamily, replace: bool = False) -> TopologyFamily:
+    """Register a topology family under its name.
+
+    Mirrors :func:`repro.engines.register_engine`: duplicate names are an
+    error unless ``replace=True`` (which keeps repeated imports idempotent).
+    """
+    if family.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"topology {family.name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[family.name] = family
+    return family
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a topology registration (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_topology(name: str) -> TopologyFamily:
+    """Look up a topology family by name.
+
+    Raises
+    ------
+    ValueError
+        With the list of registered families when ``name`` is unknown -- the
+        single early validation point for every ``topology=`` / ``--topology``
+        value in the code base.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available topologies: "
+            f"{', '.join(available_topologies()) or '(none registered)'}"
+        ) from None
+
+
+def available_topologies() -> Tuple[str, ...]:
+    """The registered topology family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def canonical_topology(value: Union[str, TopologySpec]) -> str:
+    """The canonical spec string of any accepted topology spelling."""
+    return TopologySpec.parse(value).to_string()
+
+
+def validate_topology(value: Union[str, TopologySpec], layers: int, width: int) -> TopologySpec:
+    """Parse a spec and validate family, parameters and dimension bounds.
+
+    Cheap (no neighbour tables are built); used by :class:`RunSpec` and
+    :class:`SweepSpec` so a bad topology/dimension pairing fails at
+    spec-construction time, not mid-campaign.
+    """
+    spec = TopologySpec.parse(value)
+    family = get_topology(spec.family)
+    params = spec.param_dict()
+    family.validate(layers, width, params)
+    if spec.family == "degraded":
+        base = TopologySpec.parse(str(params.get("base", "cylinder")))
+        if base.family == "degraded":
+            raise ValueError(
+                "cannot degrade a degraded topology; raise the nodes=/links= "
+                "damage counts of a single degraded spec instead"
+            )
+        get_topology(base.family).validate(layers, width, base.param_dict())
+    return spec
+
+
+def build_topology(value: Union[str, TopologySpec], layers: int, width: int) -> Topology:
+    """Build a topology instance from any accepted spelling."""
+    return TopologySpec.parse(value).build(layers, width)
+
+
+def topology_column_wrap(value: Union[str, TopologySpec]) -> bool:
+    """Whether a topology spec's column axis wraps (without building it).
+
+    The open-boundary patch -- directly or as the base of a degraded grid --
+    is the only family without the wrap; the skew analysis uses this to drop
+    the non-adjacent wrap-around column pair.
+    """
+    spec = TopologySpec.parse(value)
+    if spec.family == "patch":
+        return False
+    if spec.family == "degraded":
+        return topology_column_wrap(str(spec.param_dict().get("base", "cylinder")))
+    return True
+
+
+# ----------------------------------------------------------------------
+# Condition-1 fault capacity
+# ----------------------------------------------------------------------
+def condition1_forbidden_region(topology: Topology, node: NodeId) -> Set[NodeId]:
+    """In-neighbours of out-neighbours of ``node`` (the Condition 1 zone).
+
+    A second fault at node ``v`` would violate Condition 1 exactly if some
+    node has both ``node`` and ``v`` among its in-neighbours; ``node`` itself
+    is not part of the returned set.  This is the single home of the
+    exclusion-zone logic -- :func:`repro.faults.placement.forbidden_region`
+    (the historical public name) delegates here after canonicalising the
+    node, so the capacity bound below and the placement loop can never
+    drift apart.
+    """
+    region: Set[NodeId] = set()
+    for out_neighbor in topology.out_neighbors(node).values():
+        for in_neighbor in topology.in_neighbors(out_neighbor).values():
+            if in_neighbor != node:
+                region.add(in_neighbor)
+    return region
+
+
+def condition1_fault_capacity(topology: Topology, include_layer0: bool = False) -> int:
+    """A deterministic lower bound on the Condition-1 fault capacity.
+
+    Greedily packs faults in sorted node order, excluding each placement's
+    forbidden region.  Any fault count up to the returned value is guaranteed
+    to be placeable; random placement may admit more (the greedy order is not
+    optimal) but the bound gives campaigns and the CLI a concrete,
+    topology-aware "how many faults fit" answer instead of the paper's
+    asymptotic ``Theta(sqrt(n))`` heuristic.
+    """
+    admissible: Set[NodeId] = {
+        node for node in topology.nodes() if include_layer0 or node[0] > 0
+    }
+    capacity = 0
+    while admissible:
+        choice = min(admissible)
+        capacity += 1
+        admissible.discard(choice)
+        admissible -= condition1_forbidden_region(topology, choice)
+    return capacity

@@ -1,13 +1,54 @@
-"""Helpers shared by the benchmark modules."""
+"""Shared shim: run registered bench cases as (opt-in) pytest tests.
+
+The benchmark logic itself -- workloads, repeat counts, quick-mode shrink,
+shape checks, headline numbers -- lives in the :mod:`repro.bench.suites`
+case definitions; each ``test_bench_*.py`` module here is a one-line wrapper
+created by :func:`bench_case_test`.  Every wrapper merges its timing record
+into ``BENCH_<suite>.json`` (honouring ``BENCH_OUT``, defaulting to the repo
+root exactly as the historical modules did), so ``pytest benchmarks/ -m
+bench`` regenerates the same artifacts as ``hex-repro bench``.
+"""
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 
-def run_once(benchmark, function, *args, **kwargs):
-    """Run an experiment exactly once under the pytest-benchmark timer.
+from repro.bench import (
+    BenchSettings,
+    get_case,
+    load_builtin_suites,
+    merge_case_result,
+    run_case,
+)
 
-    The experiments are full simulation campaigns, not micro-benchmarks, so a
-    single round/iteration is both sufficient and necessary (repeating them
-    would multiply the suite's runtime without adding information).
+#: Default artifact directory of the pytest wrappers (the repo root, where
+#: the historical modules wrote their ``BENCH_*.json`` files).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_case_test(suite: str, name: str):
+    """Build the pytest test function of one registered bench case.
+
+    The test times the case through the harness, runs its shape checks
+    (assertion failures fail the test) and merges the result into the
+    suite's ``BENCH_<suite>.json``.
     """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    load_builtin_suites()
+    get_case(suite, name)  # fail at collection time for unknown cases
+
+    # The bench marker comes from the conftest collection hook, which marks
+    # every test under benchmarks/ -- one mechanism, no duplicate marking.
+    def test(bench_settings: BenchSettings) -> None:
+        case = get_case(suite, name)
+        result = run_case(case, bench_settings)
+        out_dir = Path(os.environ.get("BENCH_OUT") or REPO_ROOT)
+        merge_case_result(out_dir, suite, bench_settings, result)
+        print(
+            f"\n[{suite}/{name}] median {result.stats['median_s']:.3f}s "
+            f"over {len(result.times_s)} repeat(s); info: {result.info}"
+        )
+
+    test.__name__ = f"test_bench_{suite}_{name}"
+    test.__doc__ = f"Bench case {suite}/{name} through the repro.bench harness."
+    return test

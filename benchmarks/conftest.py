@@ -1,17 +1,20 @@
-"""Shared configuration of the benchmark harness.
+"""Pytest configuration of the benchmark suite.
 
-Every table and figure of the paper's evaluation has one benchmark module that
-regenerates it (at a reduced run count by default) and records the key numbers
-in ``benchmark.extra_info`` next to the paper's values, so that
-``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+Every test collected from this directory is marked ``bench`` automatically;
+the repository-wide ``addopts = -m "not bench"`` keeps the tier-1 run fast,
+and ``pytest benchmarks/ -m bench`` opts back in.
 
-Environment knobs:
+Environment knobs (read once per session into :class:`BenchSettings`):
 
 ``HEX_BENCH_RUNS``
     Number of runs per data point (default 10; the paper uses 250).
 ``HEX_BENCH_PAPER``
     Set to ``1`` to run the full paper-scale configuration (50x20 grid,
     250 runs) -- slow, but closest to the published numbers.
+``HEX_BENCH_QUICK``
+    Set to ``1`` for the CI-sized quick mode (fewer Monte Carlo runs).
+``BENCH_OUT``
+    Directory for the ``BENCH_*.json`` artifacts (default: repo root).
 """
 
 from __future__ import annotations
@@ -26,30 +29,18 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.bench import BenchSettings  # noqa: E402
+
+_BENCH_DIR = Path(__file__).resolve().parent
 
 
-def _bench_runs(default: int = 10) -> int:
-    return int(os.environ.get("HEX_BENCH_RUNS", default))
-
-
-@pytest.fixture(scope="session")
-def bench_runs() -> int:
-    """Number of runs per data point used by the benchmarks."""
-    return _bench_runs()
-
-
-@pytest.fixture(scope="session")
-def bench_config(bench_runs) -> ExperimentConfig:
-    """The paper's 50x20 grid with a reduced run count (unless HEX_BENCH_PAPER=1)."""
-    if os.environ.get("HEX_BENCH_PAPER") == "1":
-        return ExperimentConfig.paper()
-    return ExperimentConfig(runs=bench_runs)
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if Path(str(item.fspath)).resolve().parent == _BENCH_DIR:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")
-def bench_stab_config(bench_runs) -> ExperimentConfig:
-    """A smaller grid for the (discrete-event) stabilization benchmarks."""
-    if os.environ.get("HEX_BENCH_PAPER") == "1":
-        return ExperimentConfig.paper()
-    return ExperimentConfig(layers=20, width=10, runs=max(3, bench_runs // 2), num_pulses=8)
+def bench_settings() -> BenchSettings:
+    """The session's benchmark settings, from the environment knobs."""
+    return BenchSettings.from_env(quick=os.environ.get("HEX_BENCH_QUICK") == "1")

@@ -1,26 +1,11 @@
-"""Ablation benchmark: Byzantine vs fail-silent fault severity (Sections 3.2 / 4.3)."""
+"""Ablation benchmark: Byzantine vs fail-silent fault severity (Sections 3.2 / 4.3).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/ablation_faulttype`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import ablation_faulttype
-
-
-def test_bench_ablation_faulttype(benchmark, bench_config):
-    result = run_once(benchmark, ablation_faulttype.run, bench_config, num_faults=3)
-    print()
-    print(result.render())
-    stats = result.statistics
-    benchmark.extra_info["intra_max_fault_free"] = round(stats["fault_free"].intra_max, 2)
-    benchmark.extra_info["intra_max_fail_silent"] = round(stats["fail_silent"].intra_max, 2)
-    benchmark.extra_info["intra_max_byzantine"] = round(stats["byzantine"].intra_max, 2)
-
-    # Shape (paper's claim): fail-silent results are qualitatively similar to
-    # the Byzantine ones but with smaller (or equal) skews, and both regimes
-    # stay within a few d+ of the fault-free baseline.
-    d_max = bench_config.timing.d_max
-    assert stats["fail_silent"].intra_max >= stats["fault_free"].intra_max - 1e-9
-    assert stats["byzantine"].intra_max >= stats["fail_silent"].intra_max - 0.5
-    assert stats["byzantine"].intra_max <= stats["fault_free"].intra_max + 4 * d_max
-    assert stats["fail_silent"].intra_avg <= stats["byzantine"].intra_avg + 0.2
+test_bench_ablation_faulttype = bench_case_test("solver", "ablation_faulttype")

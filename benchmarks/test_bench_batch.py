@@ -1,0 +1,11 @@
+"""Benchmark: Engine.run_batch vs per-spec execution on a same-grid 100-cell sweep.
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``batch/run_batch`` case of :mod:`repro.bench.suites`.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_case_test
+
+test_bench_batch = bench_case_test("batch", "run_batch")

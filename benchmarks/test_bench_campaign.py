@@ -1,48 +1,11 @@
 """Benchmark: campaign orchestration overhead and parallel sweep throughput.
 
-Runs one multi-point single-pulse campaign twice -- serially and on a small
-worker pool -- and records both wall times, so regressions in the
-orchestration layer (task expansion, record assembly, pool dispatch) show up
-next to the simulation-bound experiment benchmarks.  Also asserts the
-subsystem's core guarantee inside the benchmarked configuration: canonical
-records are identical for both execution modes.
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``campaign/sweep`` case of :mod:`repro.bench.suites`.
 """
 
 from __future__ import annotations
 
-import time
+from _bench_utils import bench_case_test
 
-from _bench_utils import run_once
-
-from repro.campaign import CampaignRunner, CampaignSpec, SweepSpec
-
-
-def _spec() -> CampaignSpec:
-    cell = SweepSpec(
-        layers=(20, 30),
-        width=10,
-        scenario=("i", "iii"),
-        num_faults=(0, 2),
-        runs=5,
-        seed_salt=900,
-    )
-    return CampaignSpec(name="bench-campaign", seed=2013, cells=(cell,))
-
-
-def test_bench_campaign_sweep(benchmark):
-    spec = _spec()
-
-    serial = run_once(benchmark, lambda: CampaignRunner(spec, workers=1).run())
-
-    start = time.perf_counter()
-    parallel = CampaignRunner(spec, workers=4).run()
-    parallel_wall = time.perf_counter() - start
-
-    assert len(serial.records) == spec.num_tasks
-    assert [r.canonical_json() for r in serial.records] == [
-        r.canonical_json() for r in parallel.records
-    ]
-
-    benchmark.extra_info["tasks"] = spec.num_tasks
-    benchmark.extra_info["serial_wall_s"] = round(serial.wall_time_s, 3)
-    benchmark.extra_info["parallel4_wall_s"] = round(parallel_wall, 3)
+test_bench_campaign = bench_case_test("campaign", "sweep")

@@ -1,34 +1,11 @@
-"""Benchmark: HEX vs clock-tree scaling (the title claim, extension experiment)."""
+"""Benchmark: HEX vs clock-tree scaling (the title claim, extension experiment).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``clocktree/scaling`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import clocktree_comparison
-
-
-def test_bench_clocktree_scaling(benchmark):
-    result = run_once(
-        benchmark, clocktree_comparison.run, tree_levels=(2, 3, 4, 5), runs_per_size=5, seed=0
-    )
-    print()
-    print(result.render())
-    rows = result.rows_data
-    benchmark.extra_info["endpoints"] = [row.num_endpoints for row in rows]
-    benchmark.extra_info["tree_max_wire"] = [row.tree_max_wire_length for row in rows]
-    benchmark.extra_info["tree_max_neighbor_skew"] = [
-        round(row.tree_max_neighbor_skew, 2) for row in rows
-    ]
-    benchmark.extra_info["hex_skew_bound"] = [round(row.hex_neighbor_skew_bound, 2) for row in rows]
-
-    # Shape (the introduction's claims, measured):
-    # 1. the tree's longest wire grows like sqrt(n); HEX links stay at unit length;
-    assert result.wire_length_growth() >= 7.9  # 2^3 between 4^2 and 4^5 sinks
-    assert all(row.hex_max_wire_length == 1.0 for row in rows)
-    # 2. the tree's neighbour skew overtakes HEX's worst-case bound as n grows;
-    assert rows[0].tree_max_neighbor_skew < rows[0].hex_neighbor_skew_bound
-    assert rows[-1].tree_max_neighbor_skew > rows[-1].hex_neighbor_skew_bound
-    # 3. a single internal tree fault takes out a quarter of the die, while HEX
-    #    tolerates a growing number of isolated faults.
-    assert rows[-1].tree_worst_internal_fault_loss == rows[-1].num_endpoints // 4
-    assert rows[-1].hex_expected_faults_tolerated > rows[0].hex_expected_faults_tolerated
+test_bench_clocktree = bench_case_test("clocktree", "scaling")

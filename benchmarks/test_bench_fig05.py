@@ -1,26 +1,11 @@
-"""Benchmark: regenerate Fig. 5 (deterministic worst-case pulse wave)."""
+"""Benchmark: regenerate Fig. 5 (deterministic worst-case pulse wave).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig05`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig05, table1
-
-
-def test_bench_fig05(benchmark):
-    result = run_once(benchmark, fig05.run)
-    print()
-    print(result.render())
-    summary = result.summary()
-    benchmark.extra_info["focus_skew_ns"] = round(summary["focus_skew"], 2)
-    benchmark.extra_info["lemma4_bound_ns"] = round(summary["lemma4_bound"], 2)
-
-    # Shape: the crafted wave tears the focus columns an order of magnitude
-    # further apart than anything seen under random delays (Table 1, max
-    # 8.19 ns over 250 runs), while respecting the Lemma 4 bound.
-    paper_random_max = max(
-        row["intra_max"] for row in table1.PAPER_TABLE1.values()
-    )
-    assert summary["focus_skew"] > 2 * paper_random_max
-    assert summary["focus_skew"] <= summary["lemma4_bound"]
-    assert summary["focus_skew"] > summary["average_skew"]
+test_bench_fig05 = bench_case_test("solver", "fig05")

@@ -1,23 +1,11 @@
-"""Benchmark: regenerate Fig. 8 (pulse wave, zero layer-0 skew)."""
+"""Benchmark: regenerate Fig. 8 (pulse wave, zero layer-0 skew).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig08`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig08
-
-
-def test_bench_fig08(benchmark, bench_config):
-    result = run_once(benchmark, fig08.run, bench_config)
-    print()
-    print(result.render())
-    summary = result.summary()
-    for key in ("max_intra_layer_skew", "top_layer_spread", "per_layer_time"):
-        benchmark.extra_info[key] = round(summary[key], 3)
-
-    # Shape: the wave propagates evenly -- one layer per link delay, with the
-    # per-layer spread bounded by roughly d+ and no skew build-up with height.
-    timing = bench_config.timing
-    assert timing.d_min <= summary["per_layer_time"] <= timing.d_max
-    assert summary["max_intra_layer_skew"] <= timing.d_max
-    assert summary["top_layer_spread"] <= 2 * timing.d_max
+test_bench_fig08 = bench_case_test("solver", "fig08")

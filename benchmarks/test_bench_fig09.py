@@ -1,25 +1,11 @@
-"""Benchmark: regenerate Fig. 9 (pulse wave, ramped layer-0 skew)."""
+"""Benchmark: regenerate Fig. 9 (pulse wave, ramped layer-0 skew).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig09`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig09
-
-
-def test_bench_fig09(benchmark, bench_config):
-    result = run_once(benchmark, fig09.run, bench_config)
-    print()
-    print(result.render())
-    smoothing = result.smoothing_summary()
-    benchmark.extra_info["initial_layer0_skew_ns"] = round(smoothing["initial_layer0_skew"], 2)
-    benchmark.extra_info["max_skew_above_W-2"] = round(smoothing["max_skew_above_horizon"], 3)
-    benchmark.extra_info["max_skew_below_W-2"] = round(smoothing["max_skew_below_horizon"], 3)
-
-    # Shape (Lemma 3 / Fig. 9): the huge initial ramp ((W/2) d+ ~ 82 ns on the
-    # paper's grid) is smoothed out above layer W - 2, where the intra-layer
-    # skew falls back to the ~d+ regime of the zero-skew scenario.
-    timing = bench_config.timing
-    assert smoothing["initial_layer0_skew"] >= (bench_config.width // 2) * timing.d_max - 1e-9
-    assert smoothing["max_skew_above_horizon"] < smoothing["max_skew_below_horizon"]
-    assert smoothing["max_skew_above_horizon"] <= timing.d_max + timing.epsilon
+test_bench_fig09 = bench_case_test("solver", "fig09")

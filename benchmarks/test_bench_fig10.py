@@ -1,28 +1,11 @@
-"""Benchmark: regenerate Fig. 10 (cumulative skew histograms, scenario (i))."""
+"""Benchmark: regenerate Fig. 10 (cumulative skew histograms, scenario (i)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig10`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.analysis.histograms import tail_fraction
-from repro.experiments import fig10
-
-
-def test_bench_fig10(benchmark, bench_config):
-    result = run_once(benchmark, fig10.run, bench_config)
-    print()
-    print(result.render())
-    summary = result.summary()
-    for key in ("intra_median", "intra_frac_above_eps", "inter_median"):
-        benchmark.extra_info[key] = round(summary[key], 4)
-
-    # Shape: sharp concentration with an exponential-looking tail -- the median
-    # intra-layer skew is a fraction of eps, virtually nothing exceeds d+, and
-    # the inter-layer histogram sits just above d- (its structural bias).
-    timing = bench_config.timing
-    assert summary["intra_median"] < timing.epsilon
-    assert summary["intra_frac_above_dmax"] < 0.01
-    assert timing.d_min <= summary["inter_median"] <= timing.d_max + timing.epsilon
-    assert tail_fraction(result.intra_values, 2 * timing.epsilon) < tail_fraction(
-        result.intra_values, timing.epsilon
-    ) or tail_fraction(result.intra_values, timing.epsilon) == 0.0
+test_bench_fig10 = bench_case_test("solver", "fig10")

@@ -1,31 +1,11 @@
-"""Benchmark: regenerate Fig. 11 (cumulative skew histograms, scenario (iv))."""
+"""Benchmark: regenerate Fig. 11 (cumulative skew histograms, scenario (iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig11`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.analysis.histograms import tail_fraction
-from repro.experiments import fig10, fig11
-
-
-def test_bench_fig11(benchmark, bench_config):
-    result = run_once(benchmark, fig11.run, bench_config)
-    reference = fig10.run(bench_config)
-    print()
-    print(result.render())
-    timing = bench_config.timing
-    benchmark.extra_info["frac_above_dmin_scenario_iv"] = round(
-        tail_fraction(result.intra_values, timing.d_min), 4
-    )
-    benchmark.extra_info["frac_above_dmin_scenario_i"] = round(
-        tail_fraction(reference.intra_values, timing.d_min), 4
-    )
-
-    # Shape: unlike scenario (i), scenario (iv) shows a visible cluster near
-    # the end of the tail (intra-layer skews close to d+, inter-layer skews
-    # close to 2 d+), caused by the large initial skews of the lower layers.
-    assert tail_fraction(result.intra_values, timing.d_min) > 0.05
-    assert tail_fraction(reference.intra_values, timing.d_min) < 0.02
-    assert tail_fraction(result.inter_values, 1.5 * timing.d_max) > tail_fraction(
-        reference.inter_values, 1.5 * timing.d_max
-    )
+test_bench_fig11 = bench_case_test("solver", "fig11")

@@ -1,32 +1,11 @@
-"""Benchmark: regenerate Fig. 12 (per-layer inter-layer skews, scenarios (iii)/(iv))."""
+"""Benchmark: regenerate Fig. 12 (per-layer inter-layer skews, scenarios (iii)/(iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig12`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.clocksource.scenarios import Scenario
-from repro.experiments import fig12
-
-
-def test_bench_fig12(benchmark, bench_config):
-    result = run_once(benchmark, fig12.run, bench_config)
-    print()
-    print(result.render())
-
-    ramp = result.series[Scenario.RAMP]
-    flat = result.series[Scenario.UNIFORM_DMAX]
-    smoothing_layer = result.smoothing_layer(Scenario.RAMP, tolerance=1.0)
-    benchmark.extra_info["ramp_smoothing_layer"] = smoothing_layer
-    benchmark.extra_info["lemma3_horizon"] = bench_config.width - 2
-    benchmark.extra_info["ramp_max_skew_layer1"] = round(float(ramp["max"][0]), 2)
-    benchmark.extra_info["ramp_max_skew_layer30"] = round(float(ramp["max"][-1]), 2)
-
-    # Shape: scenario (iv)'s large low-layer inter-layer skews shrink and
-    # settle after roughly W - 2 layers (Lemma 3), whereas scenario (iii)'s
-    # per-layer maxima are flat (within ~2 d+) from the very first layer.
-    assert ramp["max"][0] > ramp["max"][-1]
-    assert smoothing_layer <= 2 * bench_config.width
-    assert float(np.nanmax(flat["max"])) <= 2 * bench_config.timing.d_max
-    # The structural d- bias of the inter-layer skew is visible everywhere.
-    assert float(np.nanmin(flat["min"])) >= bench_config.timing.d_min - 1e-6
+test_bench_fig12 = bench_case_test("solver", "fig12")

@@ -1,24 +1,11 @@
-"""Benchmark: regenerate Fig. 13 (one Byzantine node at (1, 19), scenario (i))."""
+"""Benchmark: regenerate Fig. 13 (one Byzantine node at (1, 19), scenario (i)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig13`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig13
-
-
-def test_bench_fig13(benchmark, bench_config):
-    result = run_once(benchmark, fig13.run, bench_config)
-    print()
-    print(result.render())
-    summary = result.summary()
-    for key, value in summary.items():
-        benchmark.extra_info[key] = round(value, 3)
-
-    # Shape: the skew increase emanating from the faulty node fades with the
-    # distance from the fault location (fault locality), and even next to the
-    # fault the skew stays within a few d+.
-    timing = bench_config.timing
-    assert summary["max_skew_at_distance_1"] >= summary["max_skew_at_distance_ge_3"] - 1e-9
-    assert summary["max_skew_at_distance_ge_3"] <= timing.d_max + timing.epsilon
-    assert summary["max_intra_skew"] <= 4 * timing.d_max
+test_bench_fig13 = bench_case_test("solver", "fig13")

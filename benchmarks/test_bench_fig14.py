@@ -1,24 +1,11 @@
-"""Benchmark: regenerate Fig. 14 (five Byzantine nodes, scenario (iv))."""
+"""Benchmark: regenerate Fig. 14 (five Byzantine nodes, scenario (iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig14`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig14, table1
-
-
-def test_bench_fig14(benchmark, bench_config):
-    result = run_once(benchmark, fig14.run, bench_config)
-    print()
-    print(result.render())
-    summary = result.summary()
-    benchmark.extra_info["fault_positions"] = str(result.fault_positions)
-    benchmark.extra_info["max_intra_skew"] = round(summary["max_intra_skew"], 3)
-
-    # Shape: despite five Byzantine nodes the pulse still reaches every correct
-    # node, and the worst skews stay in the same regime as the paper's Table 2
-    # (they do not accumulate with the number of faults).
-    assert summary["num_faults"] == 5.0
-    assert summary["all_correct_triggered"] == 1.0
-    paper_iv_max_with_one_fault = 34.59  # Table 2, scenario (iv)
-    assert summary["max_intra_skew"] <= 1.5 * paper_iv_max_with_one_fault
+test_bench_fig14 = bench_case_test("solver", "fig14")

@@ -1,31 +1,11 @@
-"""Benchmark: regenerate Fig. 15 (skew vs number of Byzantine faults, scenario (iii))."""
+"""Benchmark: regenerate Fig. 15 (skew vs number of Byzantine faults, scenario (iii)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig15`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig15
-
-
-def test_bench_fig15(benchmark, bench_config):
-    result = run_once(benchmark, fig15.run, bench_config)
-    print()
-    print(result.render())
-    timing = bench_config.timing
-    max_f = max(f for f, _ in result.statistics)
-    benchmark.extra_info["intra_max_f0"] = round(result.stats(0, 0).intra_max, 2)
-    benchmark.extra_info[f"intra_max_f{max_f}_h0"] = round(result.stats(max_f, 0).intra_max, 2)
-    benchmark.extra_info[f"intra_max_f{max_f}_h1"] = round(result.stats(max_f, 1).intra_max, 2)
-
-    # Shape (paper's findings for Fig. 15):
-    # 1. skews increase moderately with f -- far slower than the worst-case
-    #    allowance of roughly 5 f d+;
-    growth = result.max_skew_growth(hops=0)
-    assert growth >= -1e-9
-    assert growth < 5 * max_f * timing.d_max / 2
-    # 2. discarding the faults' 1-hop out-neighbourhood removes most of the
-    #    effect (strong fault locality);
-    assert result.max_skew_growth(hops=1) <= result.max_skew_growth(hops=0) + 1e-9
-    assert result.stats(max_f, 1).intra_max <= result.stats(max_f, 0).intra_max + 1e-9
-    # 3. the averages barely move at all.
-    assert result.stats(max_f, 0).intra_avg < result.stats(0, 0).intra_avg + 0.5
+test_bench_fig15 = bench_case_test("solver", "fig15")

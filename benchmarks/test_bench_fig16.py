@@ -1,29 +1,11 @@
-"""Benchmark: regenerate Fig. 16 (skew vs number of Byzantine faults, scenario (iv))."""
+"""Benchmark: regenerate Fig. 16 (skew vs number of Byzantine faults, scenario (iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig16`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig16
-
-
-def test_bench_fig16(benchmark, bench_config):
-    result = run_once(benchmark, fig16.run, bench_config)
-    print()
-    print(result.render())
-    max_f = max(f for f, _ in result.statistics)
-    benchmark.extra_info["intra_max_f1"] = round(result.stats(1, 0).intra_max, 2)
-    benchmark.extra_info[f"intra_max_f{max_f}"] = round(result.stats(max_f, 0).intra_max, 2)
-    benchmark.extra_info["inter_max_f1"] = round(result.stats(1, 0).inter_max, 2)
-
-    # Shape (paper's findings for Fig. 16):
-    # 1. a single fault already causes close to the worst observed skew --
-    #    the effects of multiple faults do not accumulate;
-    single = result.stats(1, 0).intra_max
-    worst = max(result.stats(f, 0).intra_max for f, h in result.statistics if h == 0)
-    assert single >= 0.4 * worst
-    # 2. under the ramped scenario the maximal intra-layer skews typically
-    #    exceed the inter-layer skews (the wave propagates diagonally);
-    assert result.stats(max_f, 0).intra_max >= result.stats(max_f, 0).inter_max - 2.0
-    # 3. locality: the h = 1 exclusion brings the maxima back down.
-    assert result.stats(max_f, 1).intra_max <= result.stats(max_f, 0).intra_max + 1e-9
+test_bench_fig16 = bench_case_test("solver", "fig16")

@@ -1,26 +1,11 @@
-"""Benchmark: regenerate Fig. 17 (single-fault worst case under scenario (iv))."""
+"""Benchmark: regenerate Fig. 17 (single-fault worst case under scenario (iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/fig17`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-import pytest
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig17
-
-
-def test_bench_fig17(benchmark):
-    result = run_once(benchmark, fig17.run)
-    print()
-    print(result.render())
-    summary = result.summary()
-    benchmark.extra_info["max_intra_skew_in_dmax"] = round(summary["max_intra_skew_in_dmax"], 2)
-    benchmark.extra_info["paper_value_in_dmax"] = 5.0
-    benchmark.extra_info["inter_smaller_by_dmax"] = round(summary["intra_minus_inter_in_dmax"], 2)
-
-    # Shape: the paper's construction generates ~5 d+ of intra-layer skew from
-    # a single Byzantine node, with the inter-layer skew smaller by d+.  Our
-    # construction reaches >= 3 d+ (vs ~1 d+ without the fault) and reproduces
-    # the "smaller by d+" relation exactly.
-    assert summary["max_intra_skew_in_dmax"] >= 3.0
-    assert summary["intra_minus_inter_in_dmax"] == pytest.approx(1.0, abs=0.3)
-    assert summary["fault_free_max_intra_skew"] <= result.construction.timing.d_max + 1e-6
+test_bench_fig17 = bench_case_test("solver", "fig17")

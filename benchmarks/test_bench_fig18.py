@@ -1,45 +1,11 @@
-"""Benchmark: regenerate Fig. 18 (stabilization times, scenario (iii))."""
+"""Benchmark: regenerate Fig. 18 (stabilization times, scenario (iii)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``des/fig18`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig18
-from repro.faults.models import FaultType
-
-
-def test_bench_fig18(benchmark, bench_stab_config):
-    result = run_once(
-        benchmark,
-        fig18.run,
-        bench_stab_config,
-        fault_counts=(0, 2, 5),
-        choices=(0, 3),
-        fault_types=(FaultType.BYZANTINE, FaultType.FAIL_SILENT),
-    )
-    print()
-    print(result.render())
-
-    conservative = result.point(0, 0, FaultType.BYZANTINE)
-    aggressive = result.point(5, 3, FaultType.BYZANTINE)
-    benchmark.extra_info["avg_stab_time_f0_C0"] = round(conservative.average, 2)
-    benchmark.extra_info["stabilized_f0_C0"] = conservative.num_stabilized
-    benchmark.extra_info["avg_stab_time_f5_C3"] = round(aggressive.average, 2)
-    benchmark.extra_info["stabilized_f5_C3"] = aggressive.num_stabilized
-    benchmark.extra_info["theorem2_worst_case"] = bench_stab_config.layers + 1
-
-    # Shape (paper's findings for Fig. 18):
-    # 1. with conservative skew bounds HEX stabilizes within the first couple
-    #    of pulses in every run;
-    assert conservative.num_stabilized == conservative.num_runs
-    assert conservative.average <= 3.0
-    # 2. aggressive bounds (C = 3) can only slow stabilization down and may
-    #    leave a minority of runs unstabilized within the observed pulses;
-    assert aggressive.num_stabilized <= conservative.num_stabilized
-    if aggressive.num_stabilized:
-        assert aggressive.average >= conservative.average - 1e-9
-    # 3. everything stays far below the Theorem 2 worst case of L + 1 pulses.
-    assert conservative.average < (bench_stab_config.layers + 1) / 2
-    # 4. fail-silent faults behave no worse than Byzantine ones.
-    fail_silent = result.point(5, 0, FaultType.FAIL_SILENT)
-    assert fail_silent.num_stabilized >= result.point(5, 0, FaultType.BYZANTINE).num_stabilized - 1
+test_bench_fig18 = bench_case_test("des", "fig18")

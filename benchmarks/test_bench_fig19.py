@@ -1,35 +1,11 @@
-"""Benchmark: regenerate Fig. 19 (stabilization times, scenario (iv))."""
+"""Benchmark: regenerate Fig. 19 (stabilization times, scenario (iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``des/fig19`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import fig19
-from repro.faults.models import FaultType
-
-
-def test_bench_fig19(benchmark, bench_stab_config):
-    result = run_once(
-        benchmark,
-        fig19.run,
-        bench_stab_config,
-        fault_counts=(0, 3),
-        choices=(0, 2),
-        fault_types=(FaultType.BYZANTINE,),
-    )
-    print()
-    print(result.render())
-
-    conservative = result.point(0, 0, FaultType.BYZANTINE)
-    with_faults = result.point(3, 0, FaultType.BYZANTINE)
-    benchmark.extra_info["avg_stab_time_f0_C0"] = round(conservative.average, 2)
-    benchmark.extra_info["avg_stab_time_f3_C0"] = round(with_faults.average, 2)
-
-    # Shape: the qualitative picture of Fig. 18 carries over to the ramped
-    # scenario -- stabilization within the first pulses for conservative
-    # bounds, even with faults present, far below the Theorem 2 worst case.
-    assert conservative.num_stabilized == conservative.num_runs
-    assert conservative.average <= 3.0
-    assert with_faults.num_stabilized >= with_faults.num_runs - 1
-    if with_faults.num_stabilized:
-        assert with_faults.average <= (bench_stab_config.layers + 1) / 2
+test_bench_fig19 = bench_case_test("des", "fig19")

@@ -1,34 +1,11 @@
-"""Benchmark: regenerate Table 1 (fault-free skew statistics, scenarios (i)-(iv))."""
+"""Benchmark: regenerate Table 1 (fault-free skew statistics, scenarios (i)-(iv)).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/table1`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.clocksource.scenarios import SCENARIOS, Scenario
-from repro.experiments import table1
-
-
-def test_bench_table1(benchmark, bench_config):
-    result = run_once(benchmark, table1.run, bench_config)
-    print()
-    print(result.render())
-
-    for scenario in SCENARIOS:
-        measured = result.statistics[scenario].as_row()
-        paper = table1.PAPER_TABLE1[scenario]
-        for key in ("intra_avg", "inter_avg"):
-            benchmark.extra_info[f"{scenario.value}_{key}_measured"] = round(measured[key], 3)
-            benchmark.extra_info[f"{scenario.value}_{key}_paper"] = paper[key]
-
-    # Shape checks: averages land close to the paper even with few runs, the
-    # scenario ordering matches, and maxima stay within the same regime.
-    for scenario in SCENARIOS:
-        measured = result.statistics[scenario]
-        paper = table1.PAPER_TABLE1[scenario]
-        assert abs(measured.intra_avg - paper["intra_avg"]) < 0.3
-        assert abs(measured.inter_avg - paper["inter_avg"]) < 0.5
-        assert measured.intra_max <= paper["intra_max"] * 1.5 + 1.0
-    assert (
-        result.statistics[Scenario.RAMP].intra_avg
-        > result.statistics[Scenario.ZERO].intra_avg
-    )
+test_bench_table1 = bench_case_test("solver", "table1")

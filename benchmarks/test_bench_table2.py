@@ -1,31 +1,11 @@
-"""Benchmark: regenerate Table 2 (skew statistics with one Byzantine node)."""
+"""Benchmark: regenerate Table 2 (skew statistics with one Byzantine node).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/table2`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.clocksource.scenarios import SCENARIOS, Scenario
-from repro.experiments import table1, table2
-
-
-def test_bench_table2(benchmark, bench_config):
-    result = run_once(benchmark, table2.run, bench_config)
-    print()
-    print(result.render())
-
-    for scenario in SCENARIOS:
-        measured = result.statistics[scenario].as_row()
-        paper = table2.PAPER_TABLE2[scenario]
-        benchmark.extra_info[f"{scenario.value}_intra_max_measured"] = round(
-            measured["intra_max"], 3
-        )
-        benchmark.extra_info[f"{scenario.value}_intra_max_paper"] = paper["intra_max"]
-
-    # Shape: a single Byzantine node increases the maxima over Table 1's
-    # fault-free values but leaves the averages almost unchanged (fault
-    # locality), exactly as in the paper.
-    for scenario in SCENARIOS:
-        measured = result.statistics[scenario]
-        paper_clean = table1.PAPER_TABLE1[scenario]
-        assert measured.intra_avg < paper_clean["intra_avg"] + 1.0
-        assert measured.inter_min <= paper_clean["inter_min"] + 0.5
+test_bench_table2 = bench_case_test("solver", "table2")

@@ -1,28 +1,11 @@
-"""Benchmark: regenerate Table 3 (stable skews and Condition 2 timeouts)."""
+"""Benchmark: regenerate Table 3 (stable skews and Condition 2 timeouts).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/table3`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-import pytest
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.clocksource.scenarios import SCENARIOS
-from repro.experiments import table3
-
-
-def test_bench_table3(benchmark, bench_config):
-    result = run_once(benchmark, table3.run, bench_config, runs=max(3, bench_config.runs // 2))
-    print()
-    print(result.render())
-
-    # Feeding the paper's sigma column through Condition 2 reproduces every
-    # timeout column of Table 3 (up to the footnote-10 signal-duration slack).
-    for scenario in SCENARIOS:
-        derived = result.from_paper_sigma[scenario].as_row()
-        paper = table3.PAPER_TABLE3[scenario]
-        for key in ("T_link_min", "T_link_max", "T_sleep_min", "T_sleep_max", "S"):
-            assert derived[key] == pytest.approx(paper[key], abs=0.2), (scenario, key)
-        benchmark.extra_info[f"{scenario.value}_S_derived"] = round(derived["S"], 2)
-        benchmark.extra_info[f"{scenario.value}_S_paper"] = paper["S"]
-        # The measured-sigma derivation lands in the same regime as the paper's.
-        measured_sigma = result.measured_sigma[scenario]
-        assert 0.3 * paper["sigma"] < measured_sigma < 2.5 * paper["sigma"]
+test_bench_table3 = bench_case_test("solver", "table3")

@@ -1,29 +1,11 @@
-"""Benchmark: Theorem 1 worst-case bounds vs observed maxima (Section 4.2)."""
+"""Benchmark: Theorem 1 worst-case bounds vs observed maxima (Section 4.2).
+
+Thin wrapper: the workload, repeat counts, quick-mode shrink and shape
+checks live in the ``solver/theorem1`` case of :mod:`repro.bench.suites`.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import bench_case_test
 
-from repro.experiments import theorem1
-
-
-def test_bench_theorem1(benchmark, bench_config):
-    result = run_once(benchmark, theorem1.run, bench_config)
-    print()
-    print(result.render())
-    summary = result.summary()
-    for key in (
-        "theorem1_bound_formula",
-        "theorem1_bound_quoted_in_paper",
-        "observed_intra_max_scenario_i",
-        "observed_intra_max_scenario_ii",
-    ):
-        benchmark.extra_info[key] = round(summary[key], 3)
-
-    # Shape: the paper's Section 4.2 comparison -- the worst-case bound
-    # (quoted as 21.63 ns) is far above the observed maxima (~3-7 ns), i.e.
-    # typical skews are much better than worst case; and the bounds hold.
-    assert result.holds()
-    assert summary["paper_quoted_sigma_max"] == 21.63
-    assert summary["observed_intra_max_scenario_i"] < 0.5 * summary["theorem1_bound_quoted_in_paper"]
-    assert summary["observed_intra_max_scenario_ii"] < summary["theorem1_bound_quoted_in_paper"]
+test_bench_theorem1 = bench_case_test("solver", "theorem1")

@@ -1,138 +1,12 @@
 """Benchmark: precomputed neighbour tables and per-topology solver runs.
 
-The DES broadcast loop and the solver's Dijkstra sweep query
-``in_neighbors`` / ``out_neighbors`` / ``direction_between`` once per message;
-before the topology layer these rebuilt the wrap arithmetic (and a fresh dict)
-on every call.  :meth:`HexGrid._build_neighbor_tables` now precomputes the
-tables once at construction.  This module measures
-
-* the neighbour-lookup sweep, cached tables vs the historical on-the-fly
-  reconstruction (re-enacted here via the raw neighbour rule), and
-* one seeded solver run per registered topology family on the paper's
-  50x20 grid,
-
-and writes the numbers to ``BENCH_topology.json`` at the repo root so the
-perf trajectory of the topology layer is tracked across PRs.
+Thin wrappers: the workloads, checks and the ``BENCH_topology.json``
+artifact live in the ``topology`` suite of :mod:`repro.bench.suites`.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from pathlib import Path
-from typing import Dict
+from _bench_utils import bench_case_test
 
-from _bench_utils import run_once
-
-from repro.core.topology import HexGrid, _IN_DIRECTION_ORDER, _OUT_DIRECTION_ORDER
-from repro.engines import RunSpec, get_engine
-from repro.topologies import build_topology
-
-#: Where the perf record lands (repo root, next to the figures' BENCH files).
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
-
-#: Lookup-sweep repetitions (the whole grid's tables per repetition).
-LOOKUP_SWEEPS = 30
-
-#: Topologies benchmarked through the solver engine.
-SOLVER_TOPOLOGIES = ("cylinder", "torus", "patch", "degraded:nodes=5,links=5,seed=1")
-
-_RESULTS: Dict[str, object] = {}
-
-
-def _uncached_lookup_sweep(grid: HexGrid) -> int:
-    """The historical per-call behaviour: rebuild both dicts from the rule."""
-    total = 0
-    for node in grid.nodes():
-        layer, column = node
-        ins = {}
-        for direction in _IN_DIRECTION_ORDER:
-            neighbor = grid._raw_neighbor(layer, column, direction)
-            if neighbor is not None:
-                ins[direction] = neighbor
-        outs = {}
-        for direction in _OUT_DIRECTION_ORDER:
-            neighbor = grid._raw_neighbor(layer, column, direction)
-            if neighbor is not None:
-                outs[direction] = neighbor
-        total += len(ins) + len(outs)
-    return total
-
-
-def _cached_lookup_sweep(grid: HexGrid) -> int:
-    """The table-backed path every hot loop now takes."""
-    total = 0
-    for node in grid.nodes():
-        total += len(grid.in_neighbors(node)) + len(grid.out_neighbors(node))
-    return total
-
-
-def _time(function, *args, repeat: int = LOOKUP_SWEEPS) -> float:
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        function(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_bench_neighbor_table_cache(benchmark):
-    """Cached tables must beat the on-the-fly reconstruction clearly."""
-    grid = HexGrid(layers=50, width=20)
-    expected = _uncached_lookup_sweep(grid)
-    assert _cached_lookup_sweep(grid) == expected  # same answers, just cached
-
-    uncached_s = _time(_uncached_lookup_sweep, grid)
-    cached_s = _time(_cached_lookup_sweep, grid)
-    run_once(benchmark, _cached_lookup_sweep, grid)
-
-    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
-    benchmark.extra_info["uncached_sweep_s"] = uncached_s
-    benchmark.extra_info["cached_sweep_s"] = cached_s
-    benchmark.extra_info["speedup"] = speedup
-    _RESULTS["neighbor_lookup"] = {
-        "grid": "50x20",
-        "uncached_sweep_s": uncached_s,
-        "cached_sweep_s": cached_s,
-        "speedup": speedup,
-    }
-    # The margin is wide in practice (~4-10x); assert a conservative floor so
-    # a regression back to per-call reconstruction fails loudly.
-    assert speedup > 1.5, f"neighbour-table cache buys only {speedup:.2f}x"
-
-
-def test_bench_solver_per_topology(benchmark):
-    """One seeded solver run per topology family on the paper's 50x20 grid."""
-    per_topology: Dict[str, Dict[str, float]] = {}
-
-    def run_all():
-        for topology in SOLVER_TOPOLOGIES:
-            spec = RunSpec(
-                kind="single_pulse",
-                layers=50,
-                width=20,
-                scenario="iii",
-                topology=topology,
-                entropy=2013,
-            )
-            start = time.perf_counter()
-            result = get_engine("solver").run(spec)
-            elapsed = time.perf_counter() - start
-            grid = build_topology(topology, 50, 20)
-            per_topology[topology] = {
-                "solver_run_s": elapsed,
-                "num_nodes": float(getattr(grid, "num_present_nodes", grid.num_nodes)),
-                "num_links": float(grid.num_links()),
-                "all_correct_triggered": float(result.all_correct_triggered()),
-            }
-        return per_topology
-
-    run_once(benchmark, run_all)
-    benchmark.extra_info.update(
-        {f"{name}_solver_run_s": data["solver_run_s"] for name, data in per_topology.items()}
-    )
-    _RESULTS["solver_runs"] = per_topology
-
-    # Writing here keeps the file complete whichever -k subset ran first.
-    BENCH_JSON.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
-    assert BENCH_JSON.exists()
+test_bench_neighbor_table_cache = bench_case_test("topology", "neighbor_lookup")
+test_bench_solver_per_topology = bench_case_test("topology", "solver_per_topology")

@@ -1,0 +1,78 @@
+"""Unified benchmark harness: declarative cases, robust stats, perf gating.
+
+The perf trajectory of the reproduction runs through this package:
+
+* :class:`~repro.bench.case.BenchCase` -- one declarative benchmark
+  (workload factory, repeat counts, quick-mode shrink, shape check, headline
+  info extractor) and :class:`~repro.bench.case.BenchSettings`, the mode
+  knobs (quick / full / paper, ``HEX_BENCH_RUNS``);
+* :mod:`~repro.bench.registry` -- the ``(suite, name)`` case registry the
+  built-in suites (:mod:`repro.bench.suites`) populate;
+* :mod:`~repro.bench.runner` -- times cases, computes robust statistics
+  (min / median / IQR) and emits the schema-versioned ``BENCH_<suite>.json``
+  files plus the combined ``BENCH_suite.json``, with all artifact paths
+  routed through ``--out`` / ``BENCH_OUT`` (default: current directory);
+* :mod:`~repro.bench.compare` -- the regression gate behind
+  ``hex-repro bench --compare``, comparing fresh medians against committed
+  baselines with a tolerance percentage and the documented exit codes.
+
+The pytest wrappers under ``benchmarks/`` and the ``hex-repro bench`` CLI
+are both thin clients of this package.
+"""
+
+from repro.bench.case import BenchCase, BenchSettings
+from repro.bench.compare import (
+    EXIT_MISSING_BASELINE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    CompareReport,
+    compare_payloads,
+    load_baseline,
+)
+from repro.bench.registry import (
+    available_suites,
+    cases_in_suite,
+    get_case,
+    load_builtin_suites,
+    register_case,
+    unregister_case,
+)
+from repro.bench.runner import (
+    COMBINED_SCHEMA,
+    SCHEMA_VERSION,
+    SUITE_SCHEMA,
+    CaseResult,
+    bench_output_dir,
+    merge_case_result,
+    run_case,
+    run_suites,
+    suite_filename,
+)
+from repro.bench.stats import robust_stats
+
+__all__ = [
+    "BenchCase",
+    "BenchSettings",
+    "CaseResult",
+    "CompareReport",
+    "COMBINED_SCHEMA",
+    "SCHEMA_VERSION",
+    "SUITE_SCHEMA",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_MISSING_BASELINE",
+    "available_suites",
+    "bench_output_dir",
+    "cases_in_suite",
+    "compare_payloads",
+    "get_case",
+    "load_baseline",
+    "load_builtin_suites",
+    "merge_case_result",
+    "register_case",
+    "robust_stats",
+    "run_case",
+    "run_suites",
+    "suite_filename",
+    "unregister_case",
+]

@@ -1,0 +1,76 @@
+"""The benchmark-case registry: ``(suite, name) -> BenchCase``.
+
+Suite modules (:mod:`repro.bench.suites`) register their cases at import
+time; :func:`load_builtin_suites` triggers those imports on demand so that
+``import repro.bench`` stays cheap (the suites pull in the whole experiments
+layer).  Tests register ad-hoc cases the same way and remove them again with
+:func:`unregister_case`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.case import BenchCase
+
+__all__ = [
+    "register_case",
+    "unregister_case",
+    "get_case",
+    "cases_in_suite",
+    "available_suites",
+    "load_builtin_suites",
+]
+
+_CASES: Dict[Tuple[str, str], BenchCase] = {}
+
+
+def register_case(case: BenchCase, replace: bool = False) -> BenchCase:
+    """Register a case under ``(case.suite, case.name)``.
+
+    Duplicate registrations are an error unless ``replace=True`` (repeated
+    imports of the built-in suite modules pass it for idempotency).
+    """
+    key = (case.suite, case.name)
+    if key in _CASES and not replace:
+        raise ValueError(
+            f"bench case {case.name!r} is already registered in suite "
+            f"{case.suite!r}; pass replace=True to override"
+        )
+    _CASES[key] = case
+    return case
+
+
+def unregister_case(suite: str, name: str) -> None:
+    """Remove a case registration (primarily for tests)."""
+    _CASES.pop((suite, name), None)
+
+
+def get_case(suite: str, name: str) -> BenchCase:
+    """Look up one case, with an actionable error for unknown names."""
+    try:
+        return _CASES[(suite, name)]
+    except KeyError:
+        known = ", ".join(sorted(f"{s}/{n}" for s, n in _CASES)) or "(none registered)"
+        raise ValueError(
+            f"unknown bench case {suite!r}/{name!r}; registered cases: {known}"
+        ) from None
+
+
+def cases_in_suite(suite: str) -> List[BenchCase]:
+    """All cases of one suite, in registration order."""
+    return [case for (case_suite, _), case in _CASES.items() if case_suite == suite]
+
+
+def available_suites() -> Tuple[str, ...]:
+    """The registered suite names, sorted."""
+    return tuple(sorted({suite for suite, _ in _CASES}))
+
+
+def load_builtin_suites() -> None:
+    """Import the built-in suite modules (idempotent).
+
+    Registration happens as an import side effect; Python's module cache
+    makes repeated calls free.
+    """
+    import repro.bench.suites  # noqa: F401  (import-for-side-effect)

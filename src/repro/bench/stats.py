@@ -1,0 +1,33 @@
+"""Robust summary statistics of benchmark timings.
+
+Wall-clock samples on shared hosts are right-skewed (scheduler noise adds,
+never subtracts), so the tracked statistics are the robust trio the
+regression gate consumes: minimum (the cleanest observation), median (the
+compared statistic) and interquartile range (the noise estimate).  Mean and
+maximum ride along for context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["robust_stats"]
+
+
+def robust_stats(times_s: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a sequence of timed repetitions (in seconds)."""
+    samples = np.asarray(times_s, dtype=float)
+    if samples.size == 0:
+        raise ValueError("need at least one timing sample")
+    if not np.all(np.isfinite(samples)) or np.any(samples < 0):
+        raise ValueError(f"timing samples must be finite and non-negative: {times_s}")
+    q25, q75 = np.percentile(samples, [25.0, 75.0])
+    return {
+        "min_s": float(samples.min()),
+        "median_s": float(np.median(samples)),
+        "iqr_s": float(q75 - q25),
+        "mean_s": float(samples.mean()),
+        "max_s": float(samples.max()),
+    }

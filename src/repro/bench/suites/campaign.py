@@ -1,0 +1,87 @@
+"""Campaign suite: orchestration overhead and parallel sweep throughput.
+
+Runs one multi-point single-pulse campaign twice -- serially (which now
+dispatches through ``engine.run_batch``) and on a small worker pool -- and
+records both wall times, so regressions in the orchestration layer (task
+expansion, batch dispatch, record assembly, pool fan-out) show up next to
+the simulation-bound benchmarks.  The check asserts the subsystem's core
+guarantee inside the benchmarked configuration: canonical records identical
+for both execution modes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.bench.case import BenchCase, BenchSettings
+from repro.bench.registry import register_case
+from repro.campaign import CampaignRunner, CampaignSpec, SweepSpec
+
+SUITE = "campaign"
+
+
+def _spec(settings: BenchSettings) -> CampaignSpec:
+    cell = SweepSpec(
+        layers=(20, 30),
+        width=10,
+        scenario=("i", "iii"),
+        num_faults=(0, 2),
+        runs=max(2, settings.effective_runs() // 2),
+        seed_salt=900,
+    )
+    return CampaignSpec(name="bench-campaign", seed=2013, cells=(cell,))
+
+
+def _make(settings: BenchSettings):
+    spec = _spec(settings)
+
+    def workload() -> Dict[str, Any]:
+        start = time.perf_counter()
+        serial = CampaignRunner(spec, workers=1).run()
+        serial_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = CampaignRunner(spec, workers=4).run()
+        parallel_wall = time.perf_counter() - start
+        return {
+            "spec": spec,
+            "serial": serial,
+            "parallel": parallel,
+            "serial_wall_s": serial_wall,
+            "parallel4_wall_s": parallel_wall,
+        }
+
+    return workload
+
+
+def _check(result: Dict[str, Any], settings: BenchSettings) -> None:
+    spec = result["spec"]
+    serial = result["serial"]
+    parallel = result["parallel"]
+    assert len(serial.records) == spec.num_tasks
+    assert [r.canonical_json() for r in serial.records] == [
+        r.canonical_json() for r in parallel.records
+    ]
+
+
+def _info(result: Dict[str, Any], settings: BenchSettings) -> Dict[str, float]:
+    return {
+        "tasks": result["spec"].num_tasks,
+        "serial_wall_s": round(result["serial_wall_s"], 3),
+        "parallel4_wall_s": round(result["parallel4_wall_s"], 3),
+    }
+
+
+register_case(
+    BenchCase(
+        name="sweep",
+        suite=SUITE,
+        make=_make,
+        repeats=3,
+        quick_repeats=3,
+        check=_check,
+        quick_check=True,
+        info=_info,
+    ),
+    replace=True,
+)

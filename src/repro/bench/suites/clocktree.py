@@ -1,0 +1,64 @@
+"""Clock-tree suite: HEX vs H-tree scaling (the title claim)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.bench.case import BenchCase, BenchSettings
+from repro.bench.registry import register_case
+from repro.experiments import clocktree_comparison
+
+SUITE = "clocktree"
+
+
+def _make(settings: BenchSettings):
+    return lambda: clocktree_comparison.run(
+        tree_levels=(2, 3, 4, 5), runs_per_size=5, seed=0
+    )
+
+
+def _check(result: Any, settings: BenchSettings) -> None:
+    rows = result.rows_data
+    # The introduction's claims, measured:
+    # 1. the tree's longest wire grows like sqrt(n); HEX links stay at unit
+    #    length;
+    assert result.wire_length_growth() >= 7.9  # 2^3 between 4^2 and 4^5 sinks
+    assert all(row.hex_max_wire_length == 1.0 for row in rows)
+    # 2. the tree's neighbour skew overtakes HEX's worst-case bound as n
+    #    grows;
+    assert rows[0].tree_max_neighbor_skew < rows[0].hex_neighbor_skew_bound
+    assert rows[-1].tree_max_neighbor_skew > rows[-1].hex_neighbor_skew_bound
+    # 3. a single internal tree fault takes out a quarter of the die, while
+    #    HEX tolerates a growing number of isolated faults.
+    assert rows[-1].tree_worst_internal_fault_loss == rows[-1].num_endpoints // 4
+    assert (
+        rows[-1].hex_expected_faults_tolerated
+        > rows[0].hex_expected_faults_tolerated
+    )
+
+
+def _info(result: Any, settings: BenchSettings) -> Dict[str, Any]:
+    rows = result.rows_data
+    return {
+        "endpoints": [row.num_endpoints for row in rows],
+        "tree_max_wire": [row.tree_max_wire_length for row in rows],
+        "tree_max_neighbor_skew": [
+            round(row.tree_max_neighbor_skew, 2) for row in rows
+        ],
+        "hex_skew_bound": [round(row.hex_neighbor_skew_bound, 2) for row in rows],
+    }
+
+
+register_case(
+    BenchCase(
+        name="scaling",
+        suite=SUITE,
+        make=_make,
+        repeats=3,
+        quick_repeats=3,
+        check=_check,
+        quick_check=True,
+        info=_info,
+    ),
+    replace=True,
+)

@@ -18,6 +18,14 @@ for already-completed tasks (``resume=True``), executes the remainder either
 in-process or on a ``multiprocessing`` pool, persists results as they
 complete (so an interrupted campaign resumes where it stopped) and returns
 the records in deterministic task order.
+
+Serial execution additionally groups consecutive same-engine single-pulse
+tasks and dispatches each group through ``engine.run_batch``
+(:func:`execute_task_batch`), so same-grid sweep cells amortize topology
+construction and the solver's plan-compiled fast path.  Batching is purely a
+wall-clock optimisation: the engine contract keeps batched results
+bit-identical to per-task execution, so canonical records -- and therefore
+the serial/parallel/resume equalities -- are unchanged.
 """
 
 from __future__ import annotations
@@ -46,11 +54,10 @@ from repro.core.bounds import stable_skew_choice
 from repro.engines import Engine, get_engine
 from repro.engines.des import scenario_layer0_spread
 
-__all__ = ["execute_task", "CampaignResult", "CampaignRunner"]
+__all__ = ["execute_task", "execute_task_batch", "CampaignResult", "CampaignRunner"]
 
 
-def _execute_single_pulse(task: RunTask, engine: Engine) -> RunRecord:
-    result = engine.run(task.to_run_spec())
+def _single_pulse_record(task: RunTask, result) -> RunRecord:
     fault_model = result.fault_model
     mask = fault_model.correctness_mask() if fault_model is not None else None
     # The clock-tree engine reports a sink-array matrix whose shape differs
@@ -71,6 +78,10 @@ def _execute_single_pulse(task: RunTask, engine: Engine) -> RunRecord:
         trigger_times=result.trigger_times if task.keep_times else None,
         layer0_times=result.layer0_times if task.keep_times else None,
     )
+
+
+def _execute_single_pulse(task: RunTask, engine: Engine) -> RunRecord:
+    return _single_pulse_record(task, engine.run(task.to_run_spec()))
 
 
 def _execute_multi_pulse(task: RunTask, engine: Engine) -> RunRecord:
@@ -135,6 +146,42 @@ def execute_task(task: RunTask) -> RunRecord:
         raise ValueError(f"unknown task kind {task.kind!r}")
     record.wall_time_s = time.perf_counter() - start
     return record
+
+
+def execute_task_batch(tasks: Sequence[RunTask]) -> List[RunRecord]:
+    """Execute a group of same-engine single-pulse tasks in one engine call.
+
+    Dispatches the whole group through ``engine.run_batch`` (falling back to
+    a per-spec loop for engines without one), so same-grid sweep cells share
+    topology construction and the solver's plan-compiled fast path.  The
+    engine-level batching contract guarantees canonical records identical to
+    per-task execution; only :attr:`RunRecord.wall_time_s` -- which the
+    canonical form excludes -- differs, and is stamped as the group's
+    per-task average.
+    """
+    if not tasks:
+        return []
+    engine_name = tasks[0].engine
+    for task in tasks:
+        if task.kind != "single_pulse" or task.engine != engine_name:
+            raise ValueError(
+                "execute_task_batch needs same-engine single-pulse tasks; got "
+                f"kind={task.kind!r} engine={task.engine!r} in a "
+                f"{engine_name!r} batch"
+            )
+    start = time.perf_counter()
+    engine = get_engine(engine_name)
+    batch_run = getattr(engine, "run_batch", None)
+    specs = [task.to_run_spec() for task in tasks]
+    if batch_run is not None:
+        results = batch_run(specs)
+    else:
+        results = [engine.run(spec) for spec in specs]
+    records = [_single_pulse_record(task, result) for task, result in zip(tasks, results)]
+    share = (time.perf_counter() - start) / len(tasks)
+    for record in records:
+        record.wall_time_s = share
+    return records
 
 
 def _execute_indexed(indexed: Tuple[int, RunTask]) -> Tuple[int, RunRecord]:
@@ -211,6 +258,15 @@ class CampaignRunner:
     progress:
         ``True`` for a stderr progress/ETA line, a ready-made
         :class:`ProgressReporter`, or ``None``/``False`` for silence.
+    batch_size:
+        Maximum number of consecutive same-engine single-pulse tasks the
+        serial path hands to one ``engine.run_batch`` call (see
+        :func:`execute_task_batch`); sweep cells on the same grid then share
+        topology construction and the solver fast path.  ``1`` disables
+        batching and restores strict per-task execution through the
+        module-level :func:`execute_task` hook (which tests monkeypatch).
+        Records are persisted as each batch completes, so an interrupt loses
+        at most one in-flight batch.
     """
 
     def __init__(
@@ -220,11 +276,15 @@ class CampaignRunner:
         store: Optional[Union[CampaignStore, str]] = None,
         resume: bool = False,
         progress: Union[bool, ProgressReporter, None] = None,
+        batch_size: int = 32,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.spec = spec
         self.workers = workers
+        self.batch_size = batch_size
         if store is not None and not isinstance(store, CampaignStore):
             store = CampaignStore(store)
         self.store = store
@@ -299,10 +359,23 @@ class CampaignRunner:
         if not pending:
             return
         if self.workers == 1 or len(pending) == 1:
+            group: List[Tuple[int, RunTask]] = []
             for index, task in pending:
-                # Looked up through the module so tests can monkeypatch the
-                # executor for fault-injection and resume accounting.
-                yield index, execute_task(task)
+                batchable = task.kind == "single_pulse" and self.batch_size > 1
+                if group and (
+                    not batchable
+                    or task.engine != group[-1][1].engine
+                    or len(group) >= self.batch_size
+                ):
+                    yield from self._flush_group(group)
+                    group = []
+                if batchable:
+                    group.append((index, task))
+                else:
+                    # Looked up through the module so tests can monkeypatch
+                    # the executor for fault-injection and resume accounting.
+                    yield index, execute_task(task)
+            yield from self._flush_group(group)
             return
         import multiprocessing
 
@@ -313,3 +386,15 @@ class CampaignRunner:
                 _execute_indexed, pending, chunksize=chunksize
             ):
                 yield index, record
+
+    def _flush_group(self, group: Sequence[Tuple[int, RunTask]]):
+        """Execute one pending batch group, yielding ``(index, record)`` pairs."""
+        if not group:
+            return
+        if len(group) == 1:
+            index, task = group[0]
+            yield index, execute_task(task)
+            return
+        records = execute_task_batch([task for _, task in group])
+        for (index, _), record in zip(group, records):
+            yield index, record

@@ -24,6 +24,12 @@ Subcommands
     Work with dynamic fault schedules: list the built-in generator families,
     validate a schedule JSON file, or preview its materialized action
     timeline on a concrete grid and seed.
+``bench [...]``
+    Run the unified benchmark suites (``repro.bench``), emit the
+    schema-versioned ``BENCH_*.json`` artifacts, and optionally gate
+    against committed baselines (``--compare`` / ``--tolerance``); the
+    regression gate's exit codes are 0 (pass), 1 (regression) and 3
+    (missing/incomparable baseline).
 
 Examples
 --------
@@ -47,6 +53,10 @@ Examples
     hex-repro adversary list
     hex-repro adversary validate burst.json
     hex-repro adversary preview burst.json --layers 20 --width 10 --seed 7
+    hex-repro bench --list
+    hex-repro bench --quick --suite batch
+    hex-repro bench --quick --out bench-out \\
+        --compare benchmarks/baselines --tolerance 25
 """
 
 from __future__ import annotations
@@ -172,6 +182,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     adversary_parser.add_argument(
         "--seed", type=int, default=0, help="preview materialization seed"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the unified benchmark suites and gate against baselines"
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true", help="list the registered suites and cases"
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: fewer Monte Carlo runs per data point",
+    )
+    bench_parser.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this suite (repeatable; default: all registered suites)",
+    )
+    bench_parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="Monte Carlo runs per data point (the HEX_BENCH_RUNS knob)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory for the BENCH_*.json files "
+        "(default: $BENCH_OUT, then the current directory)",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH JSON file or directory to gate medians against "
+        "(exit 1 on regression, 3 on missing baseline)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="tolerated median slowdown in percent (default: 25)",
+    )
+    bench_parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the cases' scientific shape checks (timing only)",
     )
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
@@ -477,6 +538,48 @@ def _format_kwargs(example: dict) -> str:
     return ", ".join(f"{key}={value!r}" for key, value in example.items())
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: loading the suites pulls in the whole experiments
+    # layer, which the other subcommands do not need.
+    from repro import bench
+
+    bench.load_builtin_suites()
+    if args.list:
+        print("Registered benchmark suites:")
+        for suite in bench.available_suites():
+            names = ", ".join(case.name for case in bench.cases_in_suite(suite))
+            print(f"  {suite:10s} {names}")
+        return 0
+
+    settings = bench.BenchSettings.from_env(quick=args.quick)
+    if args.runs is not None:
+        import dataclasses
+
+        settings = dataclasses.replace(settings, runs=args.runs)
+    out_dir = bench.bench_output_dir(args.out)
+    payloads = bench.run_suites(
+        suites=args.suite,
+        settings=settings,
+        out=str(out_dir),
+        check=not args.no_check,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(
+        f"{len(payloads)} suite(s) in {settings.mode} mode -> "
+        f"{out_dir / 'BENCH_suite.json'}"
+    )
+    if args.compare is None:
+        return 0
+    baseline = bench.load_baseline(args.compare)
+    if args.suite:
+        # An explicit --suite selection is a deliberate subset: compare only
+        # the selected suites instead of flagging the rest as missing.
+        baseline = {suite: payload for suite, payload in baseline.items() if suite in args.suite}
+    report = bench.compare_payloads(payloads, baseline, tolerance_pct=args.tolerance)
+    print(report.render())
+    return report.exit_code()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str]
     if args.experiment.lower() == "all":
@@ -668,6 +771,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_topologies(args)
         if args.command == "adversary":
             return _cmd_adversary(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "simulate":

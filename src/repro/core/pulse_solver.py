@@ -36,6 +36,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -44,7 +45,14 @@ from repro.core.algorithm import GuardKind
 from repro.core.topology import Direction, HexGrid, NodeId, TRIGGER_GUARDS
 from repro.faults.models import FaultModel, LinkBehavior
 
-__all__ = ["LinkDelayProvider", "PulseSolution", "solve_single_pulse"]
+__all__ = [
+    "LinkDelayProvider",
+    "PulseSolution",
+    "SolverPlan",
+    "solve_single_pulse",
+    "solve_single_pulse_planned",
+    "solver_plan",
+]
 
 
 class LinkDelayProvider(Protocol):
@@ -281,4 +289,259 @@ def solve_single_pulse(
         guards=guards,
         correct_mask=correct_mask,
         layer0_times=layer0_out,
+    )
+
+
+# ----------------------------------------------------------------------
+# plan-compiled fast path (fault-free runs)
+# ----------------------------------------------------------------------
+#: Flat indices of the four incoming directions, chosen so that the three
+#: guards of :data:`TRIGGER_GUARDS` become the consecutive pairs
+#: ``(0, 1), (1, 2), (2, 3)``.
+_IN_INDEX = {
+    Direction.LEFT: 0,
+    Direction.LOWER_LEFT: 1,
+    Direction.LOWER_RIGHT: 2,
+    Direction.RIGHT: 3,
+}
+
+
+@dataclass(frozen=True)
+class SolverPlan:
+    """RNG-free scaffolding of :func:`solve_single_pulse_planned`.
+
+    A plan compiles a grid's neighbour tables into flat Python lists indexed
+    by the row-major node index, so the sweep's inner loop touches no dicts,
+    no ``(layer, column)`` tuples and no :class:`Direction` enums.  Plans
+    contain only topology-derived data (no randomness, no per-run state), so
+    one plan serves every run on an equal grid; :func:`solver_plan` caches
+    them by grid identity.
+
+    Attributes
+    ----------
+    nodes:
+        Node index -> ``(layer, column)`` tuple (the form delay models and
+        result matrices expect).
+    out_links:
+        Node index -> list of ``(dest_index, in_direction_index, dest_layer,
+        dest_column)`` tuples, in the exact iteration order of
+        ``grid.out_neighbors(node).values()``; destinations on layer 0 or
+        structurally absent are excluded (the reference sweep skips them
+        before consuming any randomness).
+    present_sources:
+        The layer-0 columns whose source node is structurally present.
+    """
+
+    num_nodes: int
+    width: int
+    layers: int
+    nodes: Tuple[NodeId, ...]
+    out_links: Tuple[Tuple[Tuple[int, int, int, int], ...], ...]
+    present_sources: Tuple[int, ...]
+
+    @classmethod
+    def compile(cls, grid: HexGrid) -> "SolverPlan":
+        """Compile the plan of one grid (any registered topology family)."""
+        width = grid.width
+        presence = grid.presence_mask()
+        # Enumerate every row-major slot, including structurally absent ones
+        # (``grid.nodes()`` skips holes on degraded grids); absent slots keep
+        # an empty link list and are never finalized.
+        nodes = tuple(
+            (layer, column)
+            for layer in range(grid.layers + 1)
+            for column in range(width)
+        )
+        out_links: List[Tuple[Tuple[int, int, int, int], ...]] = []
+        for node in nodes:
+            layer, column = node
+            links: List[Tuple[int, int, int, int]] = []
+            if presence[layer, column]:
+                for destination in grid.out_neighbors(node).values():
+                    dest_layer, dest_column = destination
+                    if dest_layer == 0 or not presence[dest_layer, dest_column]:
+                        continue
+                    direction = grid.direction_between(node, destination)
+                    links.append(
+                        (
+                            dest_layer * width + dest_column,
+                            _IN_INDEX[direction],
+                            dest_layer,
+                            dest_column,
+                        )
+                    )
+            out_links.append(tuple(links))
+        present_sources = tuple(
+            column for column in range(width) if presence[0, column]
+        )
+        return cls(
+            num_nodes=grid.num_nodes,
+            width=width,
+            layers=grid.layers,
+            nodes=nodes,
+            out_links=tuple(out_links),
+            present_sources=present_sources,
+        )
+
+
+@lru_cache(maxsize=16)
+def solver_plan(grid: HexGrid) -> SolverPlan:
+    """The (cached) :class:`SolverPlan` of a grid.
+
+    Grids are immutable and equality-keyed by their identity (family,
+    dimensions, damage spec), so equal grids share one compiled plan.
+    """
+    return SolverPlan.compile(grid)
+
+
+def solve_single_pulse_planned(
+    grid: HexGrid,
+    layer0_times: Sequence[float],
+    delays: LinkDelayProvider,
+    plan: Optional[SolverPlan] = None,
+) -> PulseSolution:
+    """Fault-free fast path of :func:`solve_single_pulse`.
+
+    Runs the identical Dijkstra sweep -- same candidate tuples, same heap
+    discipline, same delivery order, and therefore the *same sequence of
+    delay-model queries* -- over the flat arrays of a :class:`SolverPlan`
+    instead of the dict-of-tuples bookkeeping of the reference sweep.  For a
+    fault-free run the result is bit-identical to
+    ``solve_single_pulse(grid, layer0_times, delays)`` (pinned by the engine
+    test suite); callers with a non-trivial fault model must use the
+    reference solver.
+
+    This is the hot path of ``SolverEngine.run_batch``: the plan is compiled
+    once per grid and shared across all runs of a batch.
+    """
+    layer0 = np.asarray(layer0_times, dtype=float)
+    if layer0.shape != (grid.width,):
+        raise ValueError(
+            f"layer0_times must have shape ({grid.width},), got {layer0.shape}"
+        )
+    if plan is None:
+        plan = solver_plan(grid)
+
+    num_nodes, width = plan.num_nodes, plan.width
+    trigger_flat = [math.inf] * num_nodes
+    guard_flat = [-1] * num_nodes
+    # arrivals[node * 4 + direction_index]; None = no message yet.
+    arrivals: List[Optional[float]] = [None] * (num_nodes * 4)
+    finalized = bytearray(num_nodes)
+    heap: List[Tuple[float, int, int, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    out_links = plan.out_links
+    node_tuples = plan.nodes
+    link_delay = delays.delay
+
+    def deliver(source_index: int, fire_time: float) -> None:
+        source = node_tuples[source_index]
+        for dest_index, direction, dest_layer, dest_column in out_links[source_index]:
+            arrival = fire_time + link_delay(source, node_tuples[dest_index])
+            base = dest_index * 4
+            arrivals[base + direction] = arrival
+            # Push exactly the guards this arrival completes.  The reference
+            # sweep re-pushes already-complete guards with unchanged candidate
+            # tuples; duplicates never alter the pop order, so skipping them
+            # keeps the finalization sequence (and thus the delay-draw order)
+            # bit-identical while halving the heap traffic.
+            if direction == 0:
+                other = arrivals[base + 1]
+                if other is not None:
+                    push(
+                        heap,
+                        (
+                            arrival if arrival > other else other,
+                            dest_layer,
+                            dest_column,
+                            0,
+                        ),
+                    )
+            elif direction == 1:
+                other = arrivals[base]
+                if other is not None:
+                    push(
+                        heap,
+                        (
+                            arrival if arrival > other else other,
+                            dest_layer,
+                            dest_column,
+                            0,
+                        ),
+                    )
+                other = arrivals[base + 2]
+                if other is not None:
+                    push(
+                        heap,
+                        (
+                            arrival if arrival > other else other,
+                            dest_layer,
+                            dest_column,
+                            1,
+                        ),
+                    )
+            elif direction == 2:
+                other = arrivals[base + 1]
+                if other is not None:
+                    push(
+                        heap,
+                        (
+                            arrival if arrival > other else other,
+                            dest_layer,
+                            dest_column,
+                            1,
+                        ),
+                    )
+                other = arrivals[base + 3]
+                if other is not None:
+                    push(
+                        heap,
+                        (
+                            arrival if arrival > other else other,
+                            dest_layer,
+                            dest_column,
+                            2,
+                        ),
+                    )
+            else:
+                other = arrivals[base + 2]
+                if other is not None:
+                    push(
+                        heap,
+                        (
+                            arrival if arrival > other else other,
+                            dest_layer,
+                            dest_column,
+                            2,
+                        ),
+                    )
+
+    for column in plan.present_sources:
+        fire_time = float(layer0[column])
+        trigger_flat[column] = fire_time
+        finalized[column] = 1
+        deliver(column, fire_time)
+
+    while heap:
+        candidate, layer, column, guard_value = pop(heap)
+        index = layer * width + column
+        if finalized[index]:
+            continue
+        finalized[index] = 1
+        trigger_flat[index] = candidate
+        guard_flat[index] = guard_value
+        deliver(index, candidate)
+
+    trigger_times = np.array(trigger_flat, dtype=float).reshape(plan.layers + 1, width)
+    guards = np.array(guard_flat, dtype=np.int8).reshape(plan.layers + 1, width)
+    presence = grid.presence_mask()
+    trigger_times[~presence] = math.nan
+    correct_mask = presence.copy()
+    return PulseSolution(
+        grid=grid,
+        trigger_times=trigger_times,
+        guards=guards,
+        correct_mask=correct_mask,
+        layer0_times=trigger_times[0, :].copy(),
     )

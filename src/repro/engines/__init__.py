@@ -37,6 +37,7 @@ from repro.engines.base import (
     RunSpec,
     canonical_json,
     content_key,
+    generic_run_batch,
 )
 from repro.engines.registry import (
     available_engines,
@@ -57,6 +58,7 @@ __all__ = [
     "RunResult",
     "canonical_json",
     "content_key",
+    "generic_run_batch",
     "register_engine",
     "unregister_engine",
     "get_engine",

@@ -67,6 +67,7 @@ __all__ = [
     "RunResult",
     "canonical_json",
     "content_key",
+    "generic_run_batch",
     "validate_layer0",
 ]
 
@@ -287,6 +288,29 @@ class Engine(Protocol):
         spec's seed coordinates via :meth:`RunSpec.rng`.
         """
         ...
+
+    def run_batch(self, specs: Sequence["RunSpec"]) -> List["RunResult"]:
+        """Execute several runs, amortizing spec-independent setup.
+
+        The contract is strict: ``run_batch(specs)`` must return results
+        bit-identical to ``[run(spec) for spec in specs]`` -- batching is a
+        wall-clock optimisation, never a semantics change.  Each spec still
+        derives its own generator from its seed coordinates, so the batch
+        result is independent of how specs are grouped.  Engines without a
+        native batch implementation delegate to :func:`generic_run_batch`.
+        """
+        ...
+
+
+def generic_run_batch(engine: Engine, specs: Sequence["RunSpec"]) -> List["RunResult"]:
+    """The reference ``run_batch``: a plain per-spec loop over ``engine.run``.
+
+    Engines whose setup cannot be shared across specs (or not profitably so)
+    use this as their ``run_batch`` body; it is also the baseline the batch
+    benchmarks and the bit-identity tests compare native implementations
+    against.
+    """
+    return [engine.run(spec) for spec in specs]
 
 
 def require_kind(engine: Engine, spec: "RunSpec") -> None:

@@ -20,7 +20,7 @@ scalars (global skew, neighbour skews, depth) are reported in
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.engines.base import (
     EngineCapabilities,
     RunResult,
     RunSpec,
+    generic_run_batch,
     require_kind,
     require_schedule_support,
     require_topology_support,
@@ -50,6 +51,10 @@ class ClockTreeEngine:
         supported_topologies=("cylinder",),
         description="H-tree clock-tree baseline (sink arrival times on the same die)",
     )
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Per-spec loop; one tree delay sample dominates each run anyway."""
+        return generic_run_batch(self, specs)
 
     @staticmethod
     def tree_levels(num_endpoints: int) -> int:

@@ -30,6 +30,7 @@ from repro.engines.base import (
     EngineCapabilities,
     RunResult,
     RunSpec,
+    generic_run_batch,
     require_kind,
     require_topology_support,
     validate_layer0,
@@ -221,6 +222,15 @@ class DesEngine:
         )
         result.spec = spec
         return result
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Per-spec loop: the event queue offers no cross-run setup to share.
+
+        (The network, its timers and the delay draws are all per-run state;
+        only grid construction could be amortized, which is negligible next
+        to a full discrete-event simulation.)
+        """
+        return generic_run_batch(self, specs)
 
     def single_pulse(
         self,

@@ -188,6 +188,8 @@ class TestExecutionDeterminism:
 
 class TestStoreResume:
     def test_resume_after_interrupt_skips_completed_tasks(self, tmp_path, monkeypatch):
+        # batch_size=1 forces strict per-task execution through the
+        # module-level execute_task hook this test monkeypatches.
         spec = small_spec(runs=3)
         store = CampaignStore(tmp_path / "cache")
 
@@ -203,7 +205,7 @@ class TestStoreResume:
 
         monkeypatch.setattr(campaign_runner, "execute_task", dying_execute)
         with pytest.raises(KeyboardInterrupt):
-            CampaignRunner(spec, store=store, resume=True).run()
+            CampaignRunner(spec, store=store, resume=True, batch_size=1).run()
         assert len(store.load(spec)) == 4
 
         # Resume: only the remaining tasks execute.
@@ -214,7 +216,7 @@ class TestStoreResume:
             return real_execute(task)
 
         monkeypatch.setattr(campaign_runner, "execute_task", counting_execute)
-        result = CampaignRunner(spec, store=store, resume=True).run()
+        result = CampaignRunner(spec, store=store, resume=True, batch_size=1).run()
         assert executed["n"] == spec.num_tasks - 4
         assert result.cached == 4
         assert result.executed == spec.num_tasks - 4

@@ -27,7 +27,14 @@ from repro.analysis.stabilization import (
     assign_pulses,
     stabilization_time,
 )
-from repro.analysis.traces import wave_rows, layer_series, save_trace, load_trace
+from repro.analysis.traces import (
+    wave_rows,
+    layer_series,
+    save_trace,
+    load_trace,
+    load_event_trace,
+    event_trace_times,
+)
 
 __all__ = [
     "SkewStatistics",
@@ -48,4 +55,6 @@ __all__ = [
     "layer_series",
     "save_trace",
     "load_trace",
+    "load_event_trace",
+    "event_trace_times",
 ]

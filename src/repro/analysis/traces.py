@@ -5,16 +5,29 @@ of every node over the ``(layer, column)`` plane.  This module provides the
 small data-wrangling helpers needed to regenerate those series without any
 plotting dependency: flat row dumps (for CSV export / external plotting),
 per-layer series, and ``.npz`` persistence of whole run sets.
+
+Captured DES event traces (``hex-repro simulate --trace run.jsonl
+--trace-events``) feed the same pipeline: :func:`load_event_trace` filters
+the per-event records out of a ``repro.obs`` trace file, and
+:func:`event_trace_times` reconstructs the first-firing matrix those events
+imply, ready for :func:`wave_rows` / :func:`save_trace`.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["wave_rows", "layer_series", "save_trace", "load_trace"]
+__all__ = [
+    "wave_rows",
+    "layer_series",
+    "save_trace",
+    "load_trace",
+    "load_event_trace",
+    "event_trace_times",
+]
 
 
 def wave_rows(
@@ -101,3 +114,47 @@ def load_trace(path: Union[str, Path]) -> Dict[str, np.ndarray]:
         path = path.with_suffix(".npz")
     with np.load(path) as data:
         return {key: data[key] for key in data.files}
+
+
+def load_event_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load the captured DES events from a ``repro.obs`` trace file.
+
+    The file is the JSONL artifact of ``--trace run.jsonl --trace-events``
+    (schema ``hex-repro/trace/v1``); span records are dropped and each
+    returned dict is the flattened event payload -- ``kind`` plus the
+    kind-specific fields (``node``, ``time``, ``pulse_index``, ...) --
+    ordered as simulated.
+
+    Raises ``ValueError`` when the file is not a trace artifact or carries
+    no captured DES events (tracing without ``--trace-events`` records spans
+    only).
+    """
+    from repro.obs import load_trace_records
+
+    events: List[Dict[str, Any]] = []
+    for record in load_trace_records(path):
+        if record.get("type") != "event" or record.get("name") != "des.event":
+            continue
+        attrs = dict(record.get("attrs", {}))
+        events.append(attrs)
+    if not events:
+        raise ValueError(
+            f"{path}: trace contains no captured DES events "
+            "(was the run traced with --trace-events?)"
+        )
+    return events
+
+
+def event_trace_times(
+    events: Sequence[Dict[str, Any]], layers: int, width: int
+) -> np.ndarray:
+    """First-firing matrix implied by a captured event stream.
+
+    A thin re-export of :func:`repro.obs.first_firing_matrix_from_events`
+    so analysis code reconstructs ``(L + 1, W)`` trigger-time matrices --
+    the input of :func:`wave_rows` and :func:`save_trace` -- without
+    importing the observability package directly.
+    """
+    from repro.obs import first_firing_matrix_from_events
+
+    return first_firing_matrix_from_events(events, layers, width)

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bench.case import BenchCase, BenchSettings
 from repro.bench.registry import available_suites, cases_in_suite, load_builtin_suites
 from repro.bench.stats import robust_stats
@@ -86,15 +87,21 @@ class CaseResult:
     times_s: List[float]
     stats: Dict[str, float]
     info: Dict[str, Any] = field(default_factory=dict)
+    #: ``repro.obs`` counter deltas over the timed repeats; populated only
+    #: when the process runs with metrics enabled (``bench --metrics``).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-serializable record of this case."""
-        return {
+        payload = {
             "repeats": len(self.times_s),
             "times_s": [float(value) for value in self.times_s],
             "stats": dict(self.stats),
             "info": _json_safe(self.info),
         }
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
+        return payload
 
 
 def _json_safe(value: Any) -> Any:
@@ -132,18 +139,33 @@ def run_case(
     The factory runs once outside the timed region; the workload runs
     ``case.effective_repeats(settings)`` times.  The check and the info
     extractor see the last repeat's return value.
+
+    When the process runs with ``repro.obs`` metrics enabled, the counter
+    deltas accumulated across the timed repeats are captured into
+    :attr:`CaseResult.metrics` (and land under a ``"metrics"`` key in the
+    BENCH JSON).  Gated ``--compare`` runs should stay uninstrumented: the
+    committed baselines were timed without observability.
     """
     workload = case.make(settings)
+    registry = obs.registry()
+    counters_before = registry.counters() if registry is not None else None
     times: List[float] = []
     result: Any = None
     for _ in range(case.effective_repeats(settings)):
         start = time.perf_counter()
         result = workload()
         times.append(time.perf_counter() - start)
+    metrics = (
+        obs.metrics_delta(counters_before, registry.counters())
+        if registry is not None
+        else {}
+    )
     if check and case.checks_under(settings):
         case.check(result, settings)
     info = case.info(result, settings) if case.info is not None else {}
-    return CaseResult(case=case, times_s=times, stats=robust_stats(times), info=info)
+    return CaseResult(
+        case=case, times_s=times, stats=robust_stats(times), info=info, metrics=metrics
+    )
 
 
 def _suite_payload(

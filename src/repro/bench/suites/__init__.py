@@ -16,7 +16,10 @@ historical ``benchmarks/test_bench_*.py`` files onto declarative
 * :mod:`~repro.bench.suites.clocktree` -- the HEX vs clock-tree scaling
   comparison (the title claim);
 * :mod:`~repro.bench.suites.batch` -- ``Engine.run_batch`` vs per-spec
-  execution on a same-grid sweep (the batching speedup gate).
+  execution on a same-grid sweep (the batching speedup gate);
+* :mod:`~repro.bench.suites.obs` -- observability overhead: the disabled
+  no-op guards, the campaign runner's <5% orchestration bar and the
+  fully-instrumented slowdown (with its bit-identity check).
 """
 
 from repro.bench.suites import (  # noqa: F401  (import-for-side-effect)
@@ -24,6 +27,7 @@ from repro.bench.suites import (  # noqa: F401  (import-for-side-effect)
     campaign,
     clocktree,
     des,
+    obs,
     solver,
     topology,
 )

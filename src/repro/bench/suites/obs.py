@@ -1,0 +1,225 @@
+"""Observability suite: the cost of having (and not having) ``repro.obs``.
+
+Three tracked cases:
+
+* ``runner_overhead`` -- the campaign runner's orchestration cost with
+  observability off (the shipping default), measured against direct
+  ``execute_task_batch`` calls over the identical task list.  The full-mode
+  check pins the overhead -- which includes every disabled obs guard on the
+  hot path -- below 5%, the acceptance bar of the observability PR.
+* ``obs_on_overhead`` -- the same seeded sweep with observability fully on
+  (metrics + span trace); the check asserts the subsystem's hard contract
+  (canonical records byte-identical either way), the info records the
+  slowdown factor for the BENCH artifact.
+* ``noop_guards`` -- microbenchmark of the disabled ``span``/``inc`` no-op
+  guards (nanoseconds per call), so a regression that puts real work on the
+  disabled path is visible in isolation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Any, Dict, List
+
+from repro import obs
+from repro.bench.case import BenchCase, BenchSettings
+from repro.bench.registry import register_case
+from repro.campaign import CampaignRunner, CampaignSpec, SweepSpec
+from repro.campaign.runner import execute_task_batch
+
+SUITE = "obs"
+
+#: Serial-path batch size of :class:`CampaignRunner` (its default).
+_BATCH_SIZE = 32
+
+
+def _spec(settings: BenchSettings) -> CampaignSpec:
+    cell = SweepSpec(
+        layers=(24, 36),
+        width=12,
+        scenario=("i", "iii"),
+        num_faults=0,
+        runs=max(4, settings.effective_runs()),
+        seed_salt=906,
+    )
+    return CampaignSpec(name="bench-obs", seed=2013, cells=(cell,))
+
+
+def _raw_records(spec: CampaignSpec) -> List[Any]:
+    """The reference execution: direct batch calls, no runner orchestration."""
+    tasks = spec.tasks()
+    records: List[Any] = []
+    for start in range(0, len(tasks), _BATCH_SIZE):
+        records.extend(execute_task_batch(tasks[start : start + _BATCH_SIZE]))
+    return records
+
+
+def _make_runner_overhead(settings: BenchSettings):
+    spec = _spec(settings)
+    # Warm the global grid / solver-plan caches outside the timed region so
+    # the first measured execution does not pay their construction.
+    _raw_records(spec)
+
+    def workload() -> Dict[str, Any]:
+        assert not obs.enabled()
+        start = time.perf_counter()
+        raw = _raw_records(spec)
+        raw_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        result = CampaignRunner(spec, workers=1, batch_size=_BATCH_SIZE).run()
+        runner_wall = time.perf_counter() - start
+        return {
+            "spec": spec,
+            "raw": raw,
+            "result": result,
+            "raw_wall_s": raw_wall,
+            "runner_wall_s": runner_wall,
+        }
+
+    return workload
+
+
+def _check_runner_overhead(result: Dict[str, Any], settings: BenchSettings) -> None:
+    assert [r.canonical_json() for r in result["raw"]] == [
+        r.canonical_json() for r in result["result"].records
+    ]
+    overhead = result["runner_wall_s"] / result["raw_wall_s"] - 1.0
+    assert overhead < 0.05, (
+        f"campaign-runner overhead {overhead * 100:.1f}% over direct batch "
+        f"execution exceeds the 5% observability-PR bar "
+        f"(runner {result['runner_wall_s']:.3f}s vs raw {result['raw_wall_s']:.3f}s)"
+    )
+
+
+def _info_runner_overhead(result: Dict[str, Any], settings: BenchSettings) -> Dict[str, Any]:
+    return {
+        "tasks": result["spec"].num_tasks,
+        "raw_wall_s": round(result["raw_wall_s"], 4),
+        "runner_wall_s": round(result["runner_wall_s"], 4),
+        "overhead_pct": round(
+            (result["runner_wall_s"] / result["raw_wall_s"] - 1.0) * 100, 2
+        ),
+    }
+
+
+register_case(
+    BenchCase(
+        name="runner_overhead",
+        suite=SUITE,
+        make=_make_runner_overhead,
+        repeats=3,
+        quick_repeats=1,
+        check=_check_runner_overhead,
+        # Timing-floor check: meaningful on full-mode repeats, too noisy to
+        # gate the CI-sized quick run.
+        quick_check=False,
+        info=_info_runner_overhead,
+    ),
+    replace=True,
+)
+
+
+def _make_obs_on_overhead(settings: BenchSettings):
+    spec = _spec(settings)
+    _raw_records(spec)
+
+    def workload() -> Dict[str, Any]:
+        start = time.perf_counter()
+        off = CampaignRunner(spec, workers=1).run()
+        off_wall = time.perf_counter() - start
+        handle, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="hex-obs-bench-")
+        os.close(handle)
+        try:
+            with obs.observed(trace=trace_path):
+                start = time.perf_counter()
+                on = CampaignRunner(spec, workers=1).run()
+                on_wall = time.perf_counter() - start
+        finally:
+            os.unlink(trace_path)
+        return {
+            "spec": spec,
+            "off": off,
+            "on": on,
+            "off_wall_s": off_wall,
+            "on_wall_s": on_wall,
+        }
+
+    return workload
+
+
+def _check_obs_on_overhead(result: Dict[str, Any], settings: BenchSettings) -> None:
+    # The subsystem's hard contract: enabling observability never changes
+    # canonical records.  Deterministic, so it gates quick mode too.
+    assert [r.canonical_json() for r in result["off"].records] == [
+        r.canonical_json() for r in result["on"].records
+    ]
+
+
+def _info_obs_on_overhead(result: Dict[str, Any], settings: BenchSettings) -> Dict[str, Any]:
+    return {
+        "tasks": result["spec"].num_tasks,
+        "off_wall_s": round(result["off_wall_s"], 4),
+        "on_wall_s": round(result["on_wall_s"], 4),
+        "slowdown_factor": round(result["on_wall_s"] / result["off_wall_s"], 3),
+    }
+
+
+register_case(
+    BenchCase(
+        name="obs_on_overhead",
+        suite=SUITE,
+        make=_make_obs_on_overhead,
+        repeats=3,
+        quick_repeats=1,
+        check=_check_obs_on_overhead,
+        quick_check=True,
+        info=_info_obs_on_overhead,
+    ),
+    replace=True,
+)
+
+
+def _make_noop_guards(settings: BenchSettings):
+    iterations = 200_000 if settings.quick else 1_000_000
+
+    def workload() -> Dict[str, Any]:
+        assert not obs.enabled()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            obs.inc("bench.noop")
+        inc_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("bench.noop"):
+                pass
+        span_wall = time.perf_counter() - start
+        return {
+            "iterations": iterations,
+            "inc_ns": inc_wall / iterations * 1e9,
+            "span_ns": span_wall / iterations * 1e9,
+        }
+
+    return workload
+
+
+def _info_noop_guards(result: Dict[str, Any], settings: BenchSettings) -> Dict[str, Any]:
+    return {
+        "iterations": result["iterations"],
+        "disabled_inc_ns": round(result["inc_ns"], 1),
+        "disabled_span_ns": round(result["span_ns"], 1),
+    }
+
+
+register_case(
+    BenchCase(
+        name="noop_guards",
+        suite=SUITE,
+        make=_make_noop_guards,
+        repeats=3,
+        quick_repeats=1,
+        info=_info_noop_guards,
+    ),
+    replace=True,
+)

@@ -53,6 +53,7 @@ from repro.clocksource.scenarios import parse_scenario
 from repro.core.bounds import stable_skew_choice
 from repro.engines import Engine, get_engine
 from repro.engines.des import scenario_layer0_spread
+from repro import obs
 
 __all__ = ["execute_task", "execute_task_batch", "CampaignResult", "CampaignRunner"]
 
@@ -137,14 +138,16 @@ def execute_task(task: RunTask) -> RunRecord:
     with the list of registered engines before any simulation work starts.
     """
     start = time.perf_counter()
-    engine = get_engine(task.engine)
-    if task.kind == "single_pulse":
-        record = _execute_single_pulse(task, engine)
-    elif task.kind == "multi_pulse":
-        record = _execute_multi_pulse(task, engine)
-    else:
-        raise ValueError(f"unknown task kind {task.kind!r}")
+    with obs.span("campaign.task", engine=task.engine, kind=task.kind):
+        engine = get_engine(task.engine)
+        if task.kind == "single_pulse":
+            record = _execute_single_pulse(task, engine)
+        elif task.kind == "multi_pulse":
+            record = _execute_multi_pulse(task, engine)
+        else:
+            raise ValueError(f"unknown task kind {task.kind!r}")
     record.wall_time_s = time.perf_counter() - start
+    obs.inc("campaign.tasks_executed")
     return record
 
 
@@ -170,17 +173,23 @@ def execute_task_batch(tasks: Sequence[RunTask]) -> List[RunRecord]:
                 f"{engine_name!r} batch"
             )
     start = time.perf_counter()
-    engine = get_engine(engine_name)
-    batch_run = getattr(engine, "run_batch", None)
-    specs = [task.to_run_spec() for task in tasks]
-    if batch_run is not None:
-        results = batch_run(specs)
-    else:
-        results = [engine.run(spec) for spec in specs]
-    records = [_single_pulse_record(task, result) for task, result in zip(tasks, results)]
+    with obs.span("campaign.task_batch", engine=engine_name, size=len(tasks)):
+        engine = get_engine(engine_name)
+        batch_run = getattr(engine, "run_batch", None)
+        specs = [task.to_run_spec() for task in tasks]
+        if batch_run is not None:
+            results = batch_run(specs)
+        else:
+            results = [engine.run(spec) for spec in specs]
+        records = [
+            _single_pulse_record(task, result) for task, result in zip(tasks, results)
+        ]
     share = (time.perf_counter() - start) / len(tasks)
     for record in records:
         record.wall_time_s = share
+    obs.inc("campaign.batches")
+    obs.inc("campaign.batched_tasks", len(tasks))
+    obs.inc("campaign.tasks_executed", len(tasks))
     return records
 
 
@@ -237,6 +246,38 @@ class CampaignResult:
     def grouped(self) -> Dict[Tuple[int, int], List[RunRecord]]:
         """Records grouped by ``(cell_index, point_index)``."""
         return group_by_point(self.records)
+
+    def wall_time_summary(self) -> Dict[str, float]:
+        """Roll the per-task wall times up into a per-campaign summary.
+
+        Aggregates the :attr:`RunRecord.wall_time_s` every record carries
+        (workers stamp theirs, so the parallel path aggregates too; cached
+        records keep the wall time of their original execution).  Keys:
+        ``tasks``, ``executed``, ``cached``, ``task_total_s``,
+        ``task_mean_s``, ``task_median_s``, ``task_p95_s``, ``tasks_per_s``
+        (executed tasks per second of campaign wall time) and
+        ``wall_time_s``.
+        """
+        times = sorted(
+            record.wall_time_s
+            for record in self.records
+            if record.wall_time_s and math.isfinite(record.wall_time_s)
+        )
+        total = float(sum(times))
+        summary = {
+            "tasks": float(len(self.records)),
+            "executed": float(self.executed),
+            "cached": float(self.cached),
+            "task_total_s": total,
+            "task_mean_s": total / len(times) if times else 0.0,
+            "task_median_s": float(np.median(times)) if times else 0.0,
+            "task_p95_s": float(np.percentile(times, 95)) if times else 0.0,
+            "tasks_per_s": (
+                self.executed / self.wall_time_s if self.wall_time_s > 0 else 0.0
+            ),
+            "wall_time_s": float(self.wall_time_s),
+        }
+        return summary
 
 
 class CampaignRunner:
@@ -299,6 +340,12 @@ class CampaignRunner:
 
     def run(self) -> CampaignResult:
         """Execute the campaign and return its ordered records."""
+        with obs.span(
+            "campaign.run", campaign=self.spec.name, workers=self.workers
+        ):
+            return self._run()
+
+    def _run(self) -> CampaignResult:
         start = time.perf_counter()
         tasks = self.spec.tasks()
 
@@ -329,6 +376,8 @@ class CampaignRunner:
 
         if self.progress is not None:
             self.progress.start(cached=len(by_index))
+        obs.inc("campaign.cache_hits", len(by_index))
+        obs.inc("campaign.tasks", len(tasks))
 
         result = CampaignResult(spec=self.spec, cached=len(by_index))
         writer_ctx = (
@@ -352,6 +401,17 @@ class CampaignRunner:
 
         result.records = [by_index[index] for index in range(len(tasks))]
         result.wall_time_s = time.perf_counter() - start
+        if obs.metrics_enabled():
+            summary = result.wall_time_summary()
+            for key in ("task_total_s", "task_median_s", "task_p95_s", "tasks_per_s"):
+                obs.gauge(f"campaign.{key}", summary[key])
+            if result.wall_time_s > 0:
+                # Fraction of the worker-seconds budget spent inside tasks;
+                # ~1.0 means the pool (or the serial loop) ran saturated.
+                obs.gauge(
+                    "campaign.worker_utilization",
+                    summary["task_total_s"] / (self.workers * result.wall_time_s),
+                )
         return result
 
     def _execute_pending(self, pending: Sequence[Tuple[int, RunTask]]):
@@ -381,7 +441,11 @@ class CampaignRunner:
 
         workers = min(self.workers, len(pending))
         chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
-        with multiprocessing.Pool(processes=workers) as pool:
+        # Workers run uninstrumented: fork-started processes inherit the
+        # parent's obs state (incl. the open trace handle) and must drop it.
+        with multiprocessing.Pool(
+            processes=workers, initializer=obs.worker_init
+        ) as pool:
             for index, record in pool.imap_unordered(
                 _execute_indexed, pending, chunksize=chunksize
             ):

@@ -30,11 +30,23 @@ Subcommands
     against committed baselines (``--compare`` / ``--tolerance``); the
     regression gate's exit codes are 0 (pass), 1 (regression) and 3
     (missing/incomparable baseline).
+``trace summarize <file>``
+    Summarize an observability artifact -- a ``hex-repro/trace/v1`` JSONL
+    trace or a ``hex-repro/metrics/v1`` snapshot -- written by
+    ``sweep``/``run``/``simulate`` with ``--trace`` / ``--metrics-out``.
+
+Observability (``repro.obs``) is off by default; ``--trace FILE`` records
+nested spans (plus per-event DES capture with ``--trace-events``) and
+``--metrics-out FILE`` snapshots the counters/gauges/timers of the command.
+Enabling either never changes results: instrumentation reads state, it never
+draws randomness.  A global ``-v`` raises log verbosity; ``--version``
+reports the installed package version.
 
 Examples
 --------
 ::
 
+    hex-repro --version
     hex-repro list
     hex-repro engines --json
     hex-repro topologies --json
@@ -57,17 +69,25 @@ Examples
     hex-repro bench --quick --suite batch
     hex-repro bench --quick --out bench-out \\
         --compare benchmarks/baselines --tolerance 25
+    hex-repro bench --quick --suite campaign --metrics --metrics-out bench-metrics.json
+    hex-repro sweep --runs 5 --trace sweep-trace.jsonl --metrics-out sweep-metrics.json
+    hex-repro simulate --engine des --runs 2 --trace run.jsonl --trace-events
+    hex-repro trace summarize sweep-trace.jsonl
+    hex-repro trace summarize sweep-metrics.json --json
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.adversary.schedule import BUILTIN_GENERATORS, FaultSchedule
 from repro.analysis.skew import SkewStatistics
 from repro.campaign.records import pooled_statistics, stabilization_times
@@ -93,6 +113,24 @@ __all__ = ["main", "build_parser"]
 
 #: Default directory of the ``sweep`` result cache.
 DEFAULT_STORE_DIR = ".hex-campaigns"
+
+_LOGGER = obs.get_logger("cli")
+
+
+def _version() -> str:
+    """The installed package version (``pyproject.toml`` metadata).
+
+    Falls back to ``repro.__version__`` for source-tree (PYTHONPATH) use
+    where no distribution metadata exists.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("hex-repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
 
 
 def _int_list(text: str) -> List[int]:
@@ -125,11 +163,46 @@ def _topology_list(text: str) -> List[str]:
     return result
 
 
+def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--metrics-out`` flags (repro.obs)."""
+    group = subparser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a hex-repro/trace/v1 JSONL span trace of this command "
+        "(summarize with 'hex-repro trace summarize FILE')",
+    )
+    group.add_argument(
+        "--trace-events",
+        action="store_true",
+        help="also capture every DES simulation event into the trace "
+        "(requires --trace; meant for single-run forensics)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a hex-repro/metrics/v1 snapshot of the command's "
+        "counters/gauges/timers",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="hex-repro",
         description="Reproduce the HEX clock-distribution paper (Dolev et al., SPAA'13/JCSS'16).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (repeatable; default shows info, -v shows debug)",
     )
     subparsers = parser.add_subparsers(dest="command")
 
@@ -234,6 +307,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the cases' scientific shape checks (timing only)",
     )
+    bench_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record repro.obs counter deltas alongside each case's times "
+        "(slightly perturbs timings; keep off for gated --compare runs)",
+    )
+    bench_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the aggregated hex-repro/metrics/v1 snapshot of the "
+        "bench run (implies --metrics)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="work with observability artifacts (traces, metrics snapshots)"
+    )
+    trace_parser.add_argument(
+        "action", choices=("summarize",), help="summarize a trace/metrics file"
+    )
+    trace_parser.add_argument(
+        "file", metavar="FILE", help="hex-repro/trace/v1 JSONL or hex-repro/metrics/v1 JSON"
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", help="machine-readable summary output"
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
@@ -248,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--paper", action="store_true", help="use the full paper-scale configuration (250 runs)"
     )
+    _add_observability_flags(run_parser)
 
     sim_parser = subparsers.add_parser("simulate", help="one-off single-pulse simulation")
     sim_parser.add_argument("--layers", type=int, default=50, help="grid length L")
@@ -276,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--workers", type=int, default=1, help="worker processes for the run set"
     )
+    _add_observability_flags(sim_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="parameter-sweep / Monte Carlo campaign over the simulation entry points"
@@ -352,7 +453,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress the progress line and summary"
     )
+    _add_observability_flags(sweep_parser)
     return parser
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Enable ``repro.obs`` for one command when its flags ask for it.
+
+    Yields the :class:`repro.obs.ObsSession` (or ``None`` when every flag is
+    off -- the zero-overhead default).  The metrics snapshot is written when
+    the command body finishes, even on error, so a crashed sweep still
+    leaves its artifacts behind.
+    """
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace is None and metrics_out is None:
+        if getattr(args, "trace_events", False):
+            raise ValueError("--trace-events requires --trace FILE")
+        yield None
+        return
+    if getattr(args, "trace_events", False) and trace is None:
+        raise ValueError("--trace-events requires --trace FILE")
+    session = obs.enable(
+        metrics=True,
+        trace=trace,
+        des_events=getattr(args, "trace_events", False),
+    )
+    try:
+        yield session
+    finally:
+        if metrics_out is not None:
+            session.write_metrics(metrics_out)
+        obs.disable()
+        for label, path in (("trace", trace), ("metrics", metrics_out)):
+            if path is not None:
+                _LOGGER.info("%s -> %s (hex-repro trace summarize %s)", label, path, path)
 
 
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -391,10 +527,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
         if "workers" in signature.parameters:
             kwargs["workers"] = args.workers
         else:
-            print(
-                f"note: {name} does not support --workers; running serially",
-                file=sys.stderr,
-            )
+            _LOGGER.warning("note: %s does not support --workers; running serially", name)
     result = module.run(**kwargs)
     render = getattr(result, "render", None)
     if callable(render):
@@ -557,17 +690,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         settings = dataclasses.replace(settings, runs=args.runs)
     out_dir = bench.bench_output_dir(args.out)
-    payloads = bench.run_suites(
-        suites=args.suite,
-        settings=settings,
-        out=str(out_dir),
-        check=not args.no_check,
-        log=lambda message: print(message, file=sys.stderr),
-    )
+    with_metrics = args.metrics or args.metrics_out is not None
+    session = obs.enable(metrics=True) if with_metrics else None
+    try:
+        payloads = bench.run_suites(
+            suites=args.suite,
+            settings=settings,
+            out=str(out_dir),
+            check=not args.no_check,
+            log=_LOGGER.info,
+        )
+    finally:
+        if session is not None:
+            if args.metrics_out is not None:
+                session.write_metrics(args.metrics_out)
+            obs.disable()
     print(
         f"{len(payloads)} suite(s) in {settings.mode} mode -> "
         f"{out_dir / 'BENCH_suite.json'}"
     )
+    if args.metrics_out is not None:
+        print(f"metrics -> {args.metrics_out}")
     if args.compare is None:
         return 0
     baseline = bench.load_baseline(args.compare)
@@ -586,10 +729,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         names = sorted(EXPERIMENTS)
     else:
         names = [args.experiment]
-    for name in names:
-        print(f"=== {name} ===")
-        print(_run_experiment(name, args))
-        print()
+    with _observability(args):
+        for name in names:
+            print(f"=== {name} ===")
+            print(_run_experiment(name, args))
+            print()
     return 0
 
 
@@ -598,15 +742,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         layers=args.layers, width=args.width, runs=args.runs, seed=args.seed
     )
     fault_type = FaultType.FAIL_SILENT if args.fail_silent else FaultType.BYZANTINE
-    run_set = run_scenario_set(
-        config,
-        args.scenario,
-        num_faults=args.faults,
-        fault_type=fault_type,
-        engine=args.engine,
-        topology=args.topology,
-        workers=args.workers,
-    )
+    with _observability(args):
+        run_set = run_scenario_set(
+            config,
+            args.scenario,
+            num_faults=args.faults,
+            fault_type=fault_type,
+            engine=args.engine,
+            topology=args.topology,
+            workers=args.workers,
+        )
     stats: SkewStatistics = run_set.statistics()
     header = (
         f"{args.runs} runs on a {args.layers}x{args.width} {run_set.topology} grid, "
@@ -740,7 +885,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=not args.quiet,
     )
-    result = runner.run()
+    with _observability(args):
+        result = runner.run()
 
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -755,6 +901,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{result.cached} from cache, {result.wall_time_s:.2f}s wall time"
             + (f", records -> {args.out}" if args.out is not None else "")
         )
+        times = result.wall_time_summary()
+        print(
+            f"task wall time: total {times['task_total_s']:.2f}s, "
+            f"median {times['task_median_s'] * 1e3:.1f}ms, "
+            f"p95 {times['task_p95_s'] * 1e3:.1f}ms, "
+            f"{times['tasks_per_s']:.1f} tasks/s"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.summary import render_summary, summarize_file, summary_to_json
+
+    summary = summarize_file(args.file)
+    if args.json:
+        print(summary_to_json(summary))
+    else:
+        print(render_summary(summary))
     return 0
 
 
@@ -762,6 +926,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(args.verbose)
     try:
         if args.command == "list":
             return _cmd_list()
@@ -779,6 +944,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except (ValueError, FileNotFoundError) as error:
         # Domain validation (bad scenario, runs=0, workers=0, unknown
         # experiment, missing or malformed spec file): present as a CLI
@@ -786,6 +953,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # and keep their traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Stdout consumer (e.g. `| head`) closed early; exit quietly like
+        # other well-behaved CLIs.  Detach stdout so the interpreter's
+        # shutdown flush does not raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.print_help()
     return 1
 

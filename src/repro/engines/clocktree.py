@@ -36,6 +36,7 @@ from repro.engines.base import (
     require_schedule_support,
     require_topology_support,
 )
+from repro import obs
 
 __all__ = ["ClockTreeEngine"]
 
@@ -54,7 +55,8 @@ class ClockTreeEngine:
 
     def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Per-spec loop; one tree delay sample dominates each run anyway."""
-        return generic_run_batch(self, specs)
+        with obs.span("engine.run_batch", engine=self.name, size=len(specs)):
+            return generic_run_batch(self, specs)
 
     @staticmethod
     def tree_levels(num_endpoints: int) -> int:
@@ -62,6 +64,11 @@ class ClockTreeEngine:
         return max(1, math.ceil(math.log(max(1, num_endpoints), 4)))
 
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
+        with obs.span("engine.run", engine=self.name, kind=spec.kind):
+            obs.inc("engine.clocktree.runs")
+            return self._run(spec, rng)
+
+    def _run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         require_kind(self, spec)
         require_schedule_support(self, spec)
         require_topology_support(self, spec)

@@ -37,6 +37,7 @@ from repro.engines.base import (
 )
 from repro.faults.models import FaultModel
 from repro.faults.placement import build_fault_model
+from repro import obs
 from repro.simulation.links import DelayModel, FreshUniformDelays, UniformRandomDelays
 from repro.simulation.network import HexNetwork, TimerPolicy
 
@@ -146,6 +147,11 @@ class DesEngine:
 
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         """Execute a declarative run (scenario-driven draws)."""
+        with obs.span("engine.run", engine=self.name, kind=spec.kind):
+            obs.inc("engine.des.runs")
+            return self._run(spec, rng)
+
+    def _run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         require_kind(self, spec)
         require_topology_support(self, spec)
         generator = rng if rng is not None else spec.rng()
@@ -230,7 +236,8 @@ class DesEngine:
         only grid construction could be amortized, which is negligible next
         to a full discrete-event simulation.)
         """
-        return generic_run_batch(self, specs)
+        with obs.span("engine.run_batch", engine=self.name, size=len(specs)):
+            return generic_run_batch(self, specs)
 
     def single_pulse(
         self,
@@ -264,6 +271,7 @@ class DesEngine:
             rng=rng,
             timer_policy=timer_policy,
         )
+        network.observer = obs.des_observer()
         network.initialize()
         if adversary is not None:
             adversary.install(network)
@@ -287,6 +295,12 @@ class DesEngine:
                 + timeouts.t_sleep_max,
             )
         network.run(until=horizon)
+        if network.observer is not None:
+            obs.record_des_observer(
+                network.observer,
+                events_scheduled=network.queue.num_scheduled,
+                events_processed=network.queue.num_processed,
+            )
         trigger_times = network.first_firing_matrix()
         final_model = self._final_fault_model(network, fault_model, adversary)
         correct_mask = (
@@ -377,6 +391,7 @@ class DesEngine:
             rng=rng,
             timer_policy=timer_policy,
         )
+        network.observer = obs.des_observer()
         network.initialize()
         if adversary is not None:
             adversary.install(network)
@@ -403,6 +418,12 @@ class DesEngine:
                 + run_slack,
             )
         network.run(until=horizon)
+        if network.observer is not None:
+            obs.record_des_observer(
+                network.observer,
+                events_scheduled=network.queue.num_scheduled,
+                events_processed=network.queue.num_processed,
+            )
 
         final_model = self._final_fault_model(network, fault_model, adversary)
         firing_times: Dict[NodeId, List[float]] = {}

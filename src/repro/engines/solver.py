@@ -32,6 +32,7 @@ from repro.engines.base import (
 )
 from repro.faults.models import FaultModel
 from repro.faults.placement import build_fault_model
+from repro import obs
 from repro.simulation.links import DelayModel, UniformRandomDelays
 from repro.simulation.network import TimerPolicy
 
@@ -56,6 +57,11 @@ class SolverEngine:
 
     def run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         """Execute a declarative single-pulse run (scenario-driven draws)."""
+        with obs.span("engine.run", engine=self.name, kind=spec.kind):
+            obs.inc("engine.solver.runs")
+            return self._run(spec, rng)
+
+    def _run(self, spec: RunSpec, rng: Optional[np.random.Generator] = None) -> RunResult:
         require_kind(self, spec)
         require_schedule_support(self, spec)
         require_topology_support(self, spec)
@@ -100,6 +106,11 @@ class SolverEngine:
         reference sweep (the fault machinery is draw-order-sensitive) and
         still benefit from the shared grid.
         """
+        with obs.span("engine.run_batch", engine=self.name, size=len(specs)):
+            obs.inc("engine.solver.runs", len(specs))
+            return self._run_batch(specs)
+
+    def _run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         grids: Dict[Tuple[str, int, int], HexGrid] = {}
         results: List[RunResult] = []
         for spec in specs:

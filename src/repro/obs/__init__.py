@@ -1,0 +1,370 @@
+"""``repro.obs``: zero-overhead-by-default observability.
+
+The subsystem is a strict no-op unless explicitly enabled: module state starts
+as ``None``, every public helper is guarded by one ``is None`` check, and no
+instrumentation site in the deterministic core imports anything from here
+(the DES hook is dependency-injected, see :mod:`repro.obs.capture`).
+
+Three facilities share one on/off switch:
+
+* **metrics** -- a process-global :class:`~repro.obs.metrics.MetricsRegistry`
+  fed by counters/gauges/timers at instrumentation sites;
+* **tracing** -- a :class:`~repro.obs.trace.Tracer` writing nested spans and
+  point events to a ``hex-repro/trace/v1`` JSONL file;
+* **DES event capture** -- per-run :class:`~repro.obs.capture.DesRunObserver`
+  instances recording every simulation event into the trace.
+
+The hard contract (test-enforced, see ``tests/test_obs.py``): enabling or
+disabling any of these never changes content keys, seed streams or canonical
+records.  Instrumentation *reads* state; it never draws randomness and never
+mutates the simulation.
+
+Typical programmatic use::
+
+    from repro import obs
+
+    with obs.observed(trace="run.jsonl", des_events=True) as session:
+        result = runner.run()
+    session.registry.write("metrics.json")
+
+State is per-process: worker processes of a parallel campaign run with
+observability disabled, and the parent aggregates what the returned records
+carry (wall times, skew stats) plus its own spans and counters.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.capture import DesRunObserver, first_firing_matrix_from_events
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    load_metrics,
+    metrics_delta,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    TraceSink,
+    load_trace_records,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMA_VERSION",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "DesRunObserver",
+    "MetricsRegistry",
+    "Tracer",
+    "TraceSink",
+    "ObsSession",
+    "configure_logging",
+    "get_logger",
+    "enable",
+    "disable",
+    "worker_init",
+    "observed",
+    "enabled",
+    "metrics_enabled",
+    "tracing_enabled",
+    "des_events_enabled",
+    "registry",
+    "tracer",
+    "span",
+    "event",
+    "inc",
+    "gauge",
+    "observe",
+    "des_observer",
+    "record_des_observer",
+    "load_metrics",
+    "load_trace_records",
+    "metrics_delta",
+    "first_firing_matrix_from_events",
+]
+
+# ----------------------------------------------------------------------
+# module-global state (None == disabled == zero overhead)
+# ----------------------------------------------------------------------
+_registry: Optional[MetricsRegistry] = None
+_tracer: Optional[Tracer] = None
+_des_events: bool = False
+
+
+class ObsSession:
+    """Handle returned by :func:`enable` / :func:`observed`.
+
+    Exposes the live registry/tracer so callers can snapshot metrics or
+    inspect trace counters after the observed region ends.
+    """
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry], tracer: Optional[Tracer]
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+
+    def write_metrics(self, path: Union[str, Path]) -> Optional[Path]:
+        """Write the metrics snapshot if metrics are on; returns the path."""
+        if self.registry is None:
+            return None
+        return self.registry.write(path)
+
+
+def worker_init() -> None:
+    """Reset inherited obs state in a pool worker process.
+
+    Fork-started workers inherit the parent's enabled registry and tracer --
+    including the open trace file handle, whose file offset is shared with
+    the parent; several processes writing through it would interleave and
+    corrupt the JSONL stream.  Workers drop the inherited state *without*
+    closing the handle (a close would flush the worker's copy of the
+    parent's unflushed buffer, duplicating lines).  Passed as the
+    ``initializer`` of the campaign runner's multiprocessing pool.
+    """
+    global _registry, _tracer, _des_events
+    _registry = None
+    _tracer = None
+    _des_events = False
+
+
+def enable(
+    *,
+    metrics: bool = True,
+    trace: Optional[Union[str, Path]] = None,
+    des_events: bool = False,
+) -> ObsSession:
+    """Turn observability on for this process.
+
+    Parameters
+    ----------
+    metrics:
+        Create a fresh :class:`MetricsRegistry` fed by all ``inc``/``gauge``/
+        ``observe`` sites.
+    trace:
+        Path of a ``hex-repro/trace/v1`` JSONL file; when given, spans and
+        events are recorded through a fresh :class:`Tracer`.
+    des_events:
+        Capture every DES event of every run into the trace (requires
+        ``trace``; expensive for large runs, meant for single-run forensics).
+        Without a trace file, ``des_events`` still records per-kind counters
+        if metrics are on.
+    """
+    global _registry, _tracer, _des_events
+    disable()
+    _registry = MetricsRegistry() if metrics else None
+    _tracer = Tracer(TraceSink(trace)) if trace is not None else None
+    _des_events = bool(des_events)
+    return ObsSession(_registry, _tracer)
+
+
+def disable() -> None:
+    """Turn observability off, closing any open trace file (idempotent)."""
+    global _registry, _tracer, _des_events
+    if _tracer is not None:
+        _tracer.close()
+    _registry = None
+    _tracer = None
+    _des_events = False
+
+
+class observed:
+    """Context manager enabling observability for a region, then restoring.
+
+    Restores whatever state was active before (normally: disabled), so nested
+    or test use cannot leak an enabled registry into later code.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        trace: Optional[Union[str, Path]] = None,
+        des_events: bool = False,
+    ) -> None:
+        self._kwargs = {"metrics": metrics, "trace": trace, "des_events": des_events}
+        self._previous: Optional[tuple] = None
+
+    def __enter__(self) -> ObsSession:
+        global _registry, _tracer, _des_events
+        self._previous = (_registry, _tracer, _des_events)
+        # Detach (without closing) any outer session before enable() resets:
+        # a closed outer tracer must not be restored on exit.
+        _registry, _tracer, _des_events = None, None, False
+        return enable(**self._kwargs)
+
+    def __exit__(self, *exc_info) -> None:
+        global _registry, _tracer, _des_events
+        if _tracer is not None:
+            _tracer.close()
+        assert self._previous is not None
+        _registry, _tracer, _des_events = self._previous
+        self._previous = None
+
+
+# ----------------------------------------------------------------------
+# cheap state queries
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """Whether any observability facility is on."""
+    return _registry is not None or _tracer is not None
+
+
+def metrics_enabled() -> bool:
+    """Whether the metrics registry is live."""
+    return _registry is not None
+
+
+def tracing_enabled() -> bool:
+    """Whether a trace file is being written."""
+    return _tracer is not None
+
+
+def des_events_enabled() -> bool:
+    """Whether per-run DES event capture was requested."""
+    return _des_events
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The live registry, or ``None`` when metrics are off."""
+    return _registry
+
+
+def tracer() -> Optional[Tracer]:
+    """The live tracer, or ``None`` when tracing is off."""
+    return _tracer
+
+
+# ----------------------------------------------------------------------
+# no-op-guarded instrumentation API
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """Shared do-nothing span handle used while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager pairing ``Tracer.start_span`` with a metrics timer."""
+
+    __slots__ = ("_name", "_attrs", "_span", "_timer_start", "_registry")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+        self._registry = _registry
+        self._timer_start = 0.0
+
+    def __enter__(self):
+        if _tracer is not None:
+            self._span = _tracer.start_span(self._name, **self._attrs)
+        if self._registry is not None:
+            self._timer_start = _time.perf_counter()
+        return self._span if self._span is not None else self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._registry is not None:
+            self._registry.observe(
+                f"{self._name}_s", _time.perf_counter() - self._timer_start
+            )
+        if self._span is not None and _tracer is not None:
+            _tracer.end_span(self._span)
+
+    def set(self, **attrs: Any) -> None:
+        if self._span is not None:
+            self._span.set(**attrs)
+
+
+def span(name: str, **attrs: Any):
+    """A traced + timed region; a shared no-op handle when obs is off.
+
+    Meant for per-run / per-batch granularity (engine runs, campaign tasks),
+    NOT for per-event loops -- those go through the dependency-injected
+    :class:`DesRunObserver` instead.
+    """
+    if _tracer is None and _registry is None:
+        return _NULL_SPAN
+    return _LiveSpan(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time trace event (no-op without a tracer)."""
+    if _tracer is not None:
+        _tracer.event(name, **attrs)
+
+
+def inc(name: str, value: float = 1.0) -> None:
+    """Increment a counter (no-op without metrics)."""
+    if _registry is not None:
+        _registry.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge (no-op without metrics)."""
+    if _registry is not None:
+        _registry.gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a timer observation (no-op without metrics)."""
+    if _registry is not None:
+        _registry.observe(name, seconds)
+
+
+# ----------------------------------------------------------------------
+# DES run capture plumbing (used by repro.engines.des)
+# ----------------------------------------------------------------------
+def des_observer() -> Optional[DesRunObserver]:
+    """A fresh per-run observer when obs is on, else ``None``.
+
+    The DES engine assigns the result to ``HexNetwork.observer``; a ``None``
+    leaves the network's single ``is None`` guard as the only cost.
+    """
+    if not enabled():
+        return None
+    return DesRunObserver(capture_events=_des_events and _tracer is not None)
+
+
+def record_des_observer(
+    observer: Optional[DesRunObserver],
+    *,
+    events_scheduled: int = 0,
+    events_processed: int = 0,
+) -> None:
+    """Flush one finished run's observer into the registry and tracer.
+
+    ``events_scheduled`` / ``events_processed`` come from the network's
+    :class:`~repro.simulation.engine.EventQueue` counters, which are
+    maintained unconditionally (they predate obs and cost nothing extra).
+    """
+    if _registry is not None:
+        _registry.inc("des.events_scheduled", events_scheduled)
+        _registry.inc("des.events_processed", events_processed)
+        if observer is not None:
+            for kind, count in sorted(observer.counts.items()):
+                _registry.inc(f"des.{kind}", count)
+    if _tracer is not None and observer is not None and observer.capture_events:
+        for record in observer.events:
+            attrs = dict(record)
+            kind = attrs.pop("kind")
+            _tracer.event("des.event", kind=kind, **attrs)

@@ -1,0 +1,58 @@
+"""Logging setup for the ``repro`` namespace.
+
+Every module that wants to emit diagnostics uses
+``logging.getLogger("repro.<area>")``; :func:`configure_logging` is the single
+entry point that attaches a stderr handler to the ``repro`` root logger.  The
+CLI calls it once, early in ``main``, with the count of ``-v`` flags.
+
+Verbosity mapping:
+
+* ``0`` (default) -- INFO and above, formatted as bare messages.  The notes
+  and progress lines that previously went through bare
+  ``print(..., file=sys.stderr)`` are INFO/WARNING records, so the default
+  CLI experience is unchanged.
+* ``1+`` (``-v``) -- DEBUG, with ``LEVEL logger:`` prefixes.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging", "get_logger"]
+
+#: Name of the namespace root logger.
+ROOT_LOGGER = "repro"
+
+_LEVELS = {0: logging.INFO}
+
+
+def get_logger(area: str = "") -> logging.Logger:
+    """The ``repro``-namespaced logger for ``area`` (e.g. ``"cli"``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{area}" if area else ROOT_LOGGER)
+
+
+def configure_logging(verbosity: int = 0, stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach (or reconfigure) the stderr handler of the ``repro`` logger.
+
+    Idempotent: calling again replaces the handler installed by a previous
+    call instead of stacking duplicates, so tests and repeated CLI entry are
+    safe.  Returns the configured root logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(_LEVELS.get(verbosity, logging.DEBUG))
+    # Messages must not escape into an application's root logger config.
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    if verbosity >= 1:
+        formatter = logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    else:
+        formatter = logging.Formatter("%(message)s")
+    handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,168 @@
+"""Offline summarization of trace and metrics artifacts.
+
+Backs the ``hex-repro trace summarize <file>`` verb: given a path, sniff
+whether it is a ``hex-repro/metrics/v1`` JSON snapshot or a
+``hex-repro/trace/v1`` JSONL trace, aggregate it, and render a short
+human-readable report (or a JSON document with ``--json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.metrics import METRICS_SCHEMA, load_metrics, timer_stats
+from repro.obs.trace import TRACE_SCHEMA, load_trace_records
+
+__all__ = ["summarize_file", "render_summary"]
+
+
+def summarize_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Summarize a metrics snapshot or a trace file into one JSON-ready dict.
+
+    The result always carries ``"file"`` and ``"format"`` (``"metrics"`` or
+    ``"trace"``) keys.
+
+    Raises
+    ------
+    ValueError
+        If the file is neither a metrics snapshot nor a trace file.
+    FileNotFoundError
+        If the file does not exist.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    head = ""
+    with path.open("r", encoding="utf-8") as handle:
+        head = handle.read(4096)
+    if TRACE_SCHEMA in head.partition("\n")[0]:
+        return _summarize_trace(path)
+    if METRICS_SCHEMA in head:
+        return _summarize_metrics(path)
+    raise ValueError(
+        f"{path}: unrecognized artifact (expected a {METRICS_SCHEMA!r} snapshot "
+        f"or a {TRACE_SCHEMA!r} trace)"
+    )
+
+
+def _summarize_metrics(path: Path) -> Dict[str, Any]:
+    payload = load_metrics(path)
+    return {
+        "file": str(path),
+        "format": "metrics",
+        "schema": payload["schema"],
+        "counters": payload.get("counters", {}),
+        "gauges": payload.get("gauges", {}),
+        "timers": payload.get("timers", {}),
+    }
+
+
+def _summarize_trace(path: Path) -> Dict[str, Any]:
+    records = load_trace_records(path)
+    spans: Dict[str, Dict[str, Any]] = {}
+    event_counts: Dict[str, int] = {}
+    des_kinds: Dict[str, int] = {}
+    max_depth = 0
+    total_span_time = 0.0
+    num_spans = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            num_spans += 1
+            max_depth = max(max_depth, int(record.get("depth", 0)))
+            name = record.get("name", "?")
+            duration = float(record.get("duration_s", 0.0))
+            bucket = spans.setdefault(name, {"values": [], "count": 0, "total": 0.0})
+            bucket["count"] += 1
+            bucket["total"] += duration
+            bucket["values"].append(duration)
+            if record.get("depth", 0) == 0:
+                total_span_time += duration
+        elif kind == "event":
+            name = record.get("name", "?")
+            event_counts[name] = event_counts.get(name, 0) + 1
+            if name == "des.event":
+                des_kind = (record.get("attrs") or {}).get("kind", "?")
+                des_kinds[des_kind] = des_kinds.get(des_kind, 0) + 1
+    return {
+        "file": str(path),
+        "format": "trace",
+        "schema": TRACE_SCHEMA,
+        "num_spans": num_spans,
+        "num_events": sum(event_counts.values()),
+        "max_depth": max_depth,
+        "top_level_time_s": total_span_time,
+        "spans": {
+            name: timer_stats(bucket["values"], bucket["count"], bucket["total"])
+            for name, bucket in sorted(spans.items())
+        },
+        "events": dict(sorted(event_counts.items())),
+        "des_event_kinds": dict(sorted(des_kinds.items())),
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Format a :func:`summarize_file` result as a human-readable report."""
+    lines: List[str] = []
+    if summary["format"] == "metrics":
+        lines.append(f"metrics snapshot {summary['file']} ({summary['schema']})")
+        counters = summary["counters"]
+        if counters:
+            lines.append("  counters:")
+            for name, value in counters.items():
+                lines.append(f"    {name:<40} {_fmt_number(value)}")
+        gauges = summary["gauges"]
+        if gauges:
+            lines.append("  gauges:")
+            for name, value in gauges.items():
+                lines.append(f"    {name:<40} {value:.4g}")
+        timers = summary["timers"]
+        if timers:
+            lines.append("  timers:")
+            for name, stats in timers.items():
+                lines.append(
+                    f"    {name:<40} n={int(stats.get('count', 0))}"
+                    f" total={stats.get('total_s', 0.0):.4f}s"
+                    f" mean={stats.get('mean_s', 0.0) * 1e3:.3f}ms"
+                    f" p95={stats.get('p95_s', 0.0) * 1e3:.3f}ms"
+                )
+        if not (counters or gauges or timers):
+            lines.append("  (empty)")
+    else:
+        lines.append(f"trace {summary['file']} ({summary['schema']})")
+        lines.append(
+            f"  {summary['num_spans']} spans (max depth {summary['max_depth']}), "
+            f"{summary['num_events']} events, "
+            f"top-level time {summary['top_level_time_s']:.4f}s"
+        )
+        if summary["spans"]:
+            lines.append("  spans by name:")
+            for name, stats in summary["spans"].items():
+                lines.append(
+                    f"    {name:<40} n={int(stats.get('count', 0))}"
+                    f" total={stats.get('total_s', 0.0):.4f}s"
+                    f" mean={stats.get('mean_s', 0.0) * 1e3:.3f}ms"
+                    f" p95={stats.get('p95_s', 0.0) * 1e3:.3f}ms"
+                )
+        if summary["events"]:
+            lines.append("  events by name:")
+            for name, count in summary["events"].items():
+                lines.append(f"    {name:<40} {count}")
+        if summary["des_event_kinds"]:
+            lines.append("  DES event kinds:")
+            for kind, count in summary["des_event_kinds"].items():
+                lines.append(f"    {kind:<40} {count}")
+    return "\n".join(lines)
+
+
+def _fmt_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def summary_to_json(summary: Dict[str, Any]) -> str:
+    """Serialize a summary dict as stable, indented JSON."""
+    return json.dumps(summary, indent=2, sort_keys=True)

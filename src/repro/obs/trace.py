@@ -1,0 +1,220 @@
+"""Span-style tracing with a JSONL file sink.
+
+A trace file is newline-delimited JSON carrying the ``hex-repro/trace/v1``
+schema.  The first line is a header record; every following line is either a
+``span`` (a timed region, written when the span closes) or an ``event`` (a
+point-in-time record, e.g. one DES event when per-run event capture is on)::
+
+    {"type": "header", "schema": "hex-repro/trace/v1", "schema_version": 1}
+    {"type": "span", "name": "engine.run", "span_id": 3, "parent_id": 2, ...}
+    {"type": "event", "name": "des.event", "span_id": 3, ...}
+
+Spans nest: :meth:`Tracer.span` pushes onto a per-tracer stack, so a span
+opened inside ``campaign.run`` records that span's id as its ``parent_id``.
+Durations come from ``time.perf_counter``; the wall-clock anchor of the whole
+trace is irrelevant, so ``start_s`` values are offsets from tracer creation.
+
+Like the metrics registry, the tracer only *reads* program state -- it never
+draws randomness and never mutates anything in the deterministic core.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Union
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+    "Tracer",
+]
+
+#: Schema tag carried in the header line of a trace file.
+TRACE_SCHEMA = "hex-repro/trace/v1"
+
+#: Version number of the trace schema.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+class TraceSink:
+    """Buffered JSONL writer for trace records.
+
+    The header line is written eagerly on construction so that even an empty
+    (or crashed) run leaves a parseable, schema-identified file behind.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.write(
+            {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "schema_version": TRACE_SCHEMA_VERSION,
+            }
+        )
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a JSON line (no-op after :meth:`close`)."""
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Span:
+    """One open span; records itself to the sink when closed."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "depth", "start", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = time.perf_counter()
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach extra attributes to the span before it closes."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Produces nested spans and point events, writing them to a sink."""
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self._ids = itertools.count(1)
+        self._stack: List[_Span] = []
+        self._origin = time.perf_counter()
+        self.num_spans = 0
+        self.num_events = 0
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span, or ``None`` at top level."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def start_span(self, name: str, **attrs: Any) -> _Span:
+        """Open a span nested under the current one; pair with :meth:`end_span`."""
+        span = _Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self.current_span_id,
+            depth=len(self._stack),
+            attrs={key: _jsonable(value) for key, value in attrs.items()},
+        )
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: _Span) -> None:
+        """Close ``span`` (and any spans left open inside it) and record it."""
+        end = time.perf_counter()
+        while self._stack:
+            top = self._stack.pop()
+            record = {
+                "type": "span",
+                "name": top.name,
+                "span_id": top.span_id,
+                "parent_id": top.parent_id,
+                "depth": top.depth,
+                "start_s": top.start - self._origin,
+                "duration_s": end - top.start,
+            }
+            if top.attrs:
+                record["attrs"] = top.attrs
+            self.sink.write(record)
+            self.num_spans += 1
+            if top is span:
+                break
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event attached to the current span."""
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "span_id": self.current_span_id,
+            "time_s": time.perf_counter() - self._origin,
+        }
+        if attrs:
+            record["attrs"] = {key: _jsonable(value) for key, value in attrs.items()}
+        self.sink.write(record)
+        self.num_events += 1
+
+    def close(self) -> None:
+        """Close any spans still open, then close the sink."""
+        while self._stack:
+            self.end_span(self._stack[-1])
+        self.sink.close()
+
+
+def load_trace_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a ``hex-repro/trace/v1`` JSONL file into a list of records.
+
+    The header line is validated and excluded from the returned list.
+
+    Raises
+    ------
+    ValueError
+        If the file is empty or the header does not carry the expected schema.
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number + 1}: invalid JSON: {error}") from error
+            records.append(record)
+    if not records:
+        raise ValueError(f"{path}: empty trace file")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a trace file (expected schema {TRACE_SCHEMA!r} header, "
+            f"got {header.get('schema')!r})"
+        )
+    return records[1:]

@@ -146,6 +146,13 @@ class HexNetwork:
         #: queue carries only indices into this table.
         self._adversary_actions: List[object] = []
         self._initialized = False
+        #: Optional read-only run observer (duck-typed against
+        #: :class:`repro.adversary.runtime`-style protocols; in practice a
+        #: :class:`repro.obs.capture.DesRunObserver`, injected by the DES
+        #: engine when observability is enabled).  The default ``None`` keeps
+        #: a single ``is None`` guard as the only cost -- the network itself
+        #: never imports :mod:`repro.obs`.
+        self.observer: Optional[object] = None
 
     # ------------------------------------------------------------------
     # timer draws
@@ -461,6 +468,8 @@ class HexNetwork:
             return None
         record = automaton.try_fire(time, self._draw_sleep_duration())
         assert record is not None
+        if self.observer is not None:
+            self.observer.on_firing(node, time)  # type: ignore[attr-defined]
         self.queue.schedule(automaton.wake_time, WakeUp(node=node))
         self._broadcast(node, time)
         return record
@@ -488,6 +497,8 @@ class HexNetwork:
             self.source_firings.append(
                 FiringRecord(node=event.node, time=time, guard=None)
             )
+            if self.observer is not None:
+                self.observer.on_firing(event.node, time)  # type: ignore[attr-defined]
             self._broadcast(event.node, time)
         elif isinstance(event, MessageArrival):
             if event.from_byzantine_high and self.faults.link_behavior(
@@ -519,7 +530,10 @@ class HexNetwork:
                 for direction, _source in self._byzantine_high_inputs.get(event.node, ()):
                     self._reassert_byzantine_high(event.node, direction, time)
         elif isinstance(event, AdversaryAction):
-            self._adversary_actions[event.index].apply(self, time)  # type: ignore[attr-defined]
+            action = self._adversary_actions[event.index]
+            action.apply(self, time)  # type: ignore[attr-defined]
+            if self.observer is not None:
+                self.observer.on_adversary(time, action)  # type: ignore[attr-defined]
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown event type {type(event)!r}")
 
@@ -548,6 +562,8 @@ class HexNetwork:
             if next_time > until:
                 break
             time, event = self.queue.pop()
+            if self.observer is not None:
+                self.observer.on_event(time, event)  # type: ignore[attr-defined]
             self._handle(time, event)
             processed += 1
             if self.queue.num_processed > self.max_events:

@@ -1,0 +1,180 @@
+"""Tests of ``repro.campaign.progress``: rate/ETA math, stream selection,
+throttling and ``format_duration`` edge cases."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.campaign.progress import ProgressReporter, format_duration
+
+
+class _FakeTty(io.StringIO):
+    def isatty(self) -> bool:
+        return True
+
+
+class _Clock:
+    """Deterministic stand-in for ``time.monotonic``."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock(monkeypatch) -> _Clock:
+    clock = _Clock()
+    monkeypatch.setattr("repro.campaign.progress.time.monotonic", clock)
+    return clock
+
+
+class TestFormatDuration:
+    def test_sub_minute(self):
+        assert format_duration(0.0) == "0.0s"
+        assert format_duration(4.25) == "4.2s"
+        assert format_duration(59.94) == "59.9s"
+
+    def test_minutes(self):
+        assert format_duration(60.0) == "1m00s"
+        assert format_duration(192.0) == "3m12s"
+        assert format_duration(3599.0) == "59m59s"
+
+    def test_hours(self):
+        assert format_duration(3600.0) == "1h00m"
+        assert format_duration(3840.0) == "1h04m"
+        assert format_duration(7265.0) == "2h01m"
+
+    def test_nan_and_inf(self):
+        assert format_duration(float("nan")) == "?"
+        assert format_duration(float("inf")) == "?"
+
+
+class TestStreamSelection:
+    def test_enabled_on_tty_by_default(self):
+        assert ProgressReporter(10, stream=_FakeTty()).enabled is True
+
+    def test_disabled_on_non_tty_by_default(self):
+        assert ProgressReporter(10, stream=io.StringIO()).enabled is False
+
+    def test_disabled_when_stream_has_no_isatty(self):
+        class Bare:
+            def write(self, text):
+                pass
+
+            def flush(self):
+                pass
+
+        assert ProgressReporter(10, stream=Bare()).enabled is False
+
+    def test_explicit_override_beats_sniffing(self):
+        assert ProgressReporter(10, stream=io.StringIO(), enabled=True).enabled is True
+        assert ProgressReporter(10, stream=_FakeTty(), enabled=False).enabled is False
+
+    def test_disabled_reporter_writes_nothing(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(5, stream=stream)
+        reporter.start()
+        reporter.advance(5)
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProgressReporter(-1)
+
+
+class TestEtaMath:
+    def test_eta_from_executed_throughput(self, clock):
+        reporter = ProgressReporter(10, stream=io.StringIO())
+        reporter.start()
+        clock.advance(4.0)
+        reporter.advance(2)
+        # 2 tasks in 4s -> 2s/task; 8 remaining -> 16s.
+        assert reporter.eta() == pytest.approx(16.0)
+        assert reporter.elapsed == pytest.approx(4.0)
+
+    def test_cached_tasks_excluded_from_rate(self, clock):
+        reporter = ProgressReporter(10, stream=io.StringIO())
+        reporter.start(cached=4)
+        clock.advance(3.0)
+        reporter.advance(3)
+        # 3 *executed* in 3s -> 1s/task; 3 remaining -> 3s.
+        assert reporter.eta() == pytest.approx(3.0)
+
+    def test_eta_unknown_before_first_completion(self, clock):
+        reporter = ProgressReporter(10, stream=io.StringIO())
+        reporter.start()
+        clock.advance(5.0)
+        assert reporter.eta() == float("inf")
+
+    def test_eta_zero_when_done(self, clock):
+        reporter = ProgressReporter(3, stream=io.StringIO())
+        reporter.start()
+        clock.advance(1.0)
+        reporter.advance(3)
+        assert reporter.eta() == 0.0
+
+    def test_cached_only_completion_has_zero_eta(self, clock):
+        reporter = ProgressReporter(4, stream=io.StringIO())
+        reporter.start(cached=4)
+        assert reporter.eta() == 0.0
+
+    def test_elapsed_zero_before_start(self):
+        assert ProgressReporter(3, stream=io.StringIO()).elapsed == 0.0
+
+
+class TestRendering:
+    def test_progress_line_and_final_newline(self, clock):
+        stream = _FakeTty()
+        reporter = ProgressReporter(4, label="sweep", stream=stream)
+        reporter.start()
+        clock.advance(2.0)
+        reporter.advance(2)
+        reporter.finish()
+        output = stream.getvalue()
+        assert "\rsweep: 2/4" in output
+        assert "( 50.0%)" in output
+        assert "eta" in output
+        assert output.endswith("\n")
+
+    def test_throttling_skips_rapid_redraws(self, clock):
+        stream = _FakeTty()
+        reporter = ProgressReporter(100, stream=stream, min_interval=0.2)
+        reporter.start()
+        for _ in range(10):
+            clock.advance(0.01)  # all within one min_interval window
+            reporter.advance()
+        renders = stream.getvalue().count("\r")
+        assert renders == 1  # only the forced start render
+
+    def test_forced_render_ignores_throttle(self, clock):
+        stream = _FakeTty()
+        reporter = ProgressReporter(2, stream=stream, min_interval=60.0)
+        reporter.start()
+        clock.advance(0.01)
+        reporter.advance(2)
+        reporter.finish()  # forces a final render despite min_interval
+        assert "2/2" in stream.getvalue()
+
+    def test_zero_total_renders_complete(self, clock):
+        stream = _FakeTty()
+        reporter = ProgressReporter(0, stream=stream)
+        reporter.start()
+        summary = reporter.finish()
+        assert "(100.0%)" in stream.getvalue()
+        assert "0/0" in summary
+
+    def test_summary_mentions_cached(self, clock):
+        reporter = ProgressReporter(6, label="camp", stream=io.StringIO())
+        reporter.start(cached=2)
+        clock.advance(1.0)
+        reporter.advance(4)
+        summary = reporter.finish()
+        assert summary == "camp: 6/6 runs, 2 cached, in 1.0s"

@@ -14,13 +14,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.bench import (
-    BenchSettings,
-    get_case,
-    load_builtin_suites,
-    merge_case_result,
-    run_case,
-)
+from repro.bench import BenchSettings, get_case, load_builtin_suites, merge_case_result, run_case
 
 #: Default artifact directory of the pytest wrappers (the repo root, where
 #: the historical modules wrote their ``BENCH_*.json`` files).

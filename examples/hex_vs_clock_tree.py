@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.clocksource import scenario_layer0_times
 from repro.clocktree.comparison import compare_scaling
 from repro.core.parameters import TimingConfig
 from repro.core.topology import HexGrid
-from repro.clocksource import scenario_layer0_times
 from repro.experiments.report import format_kv, format_table
 from repro.multiplication.fastclock import (
     FrequencyMultiplier,

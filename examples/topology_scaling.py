@@ -26,14 +26,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.campaign.records import pooled_statistics
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec, SweepSpec
-from repro.campaign.records import pooled_statistics
 from repro.engines import RunSpec, get_engine
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.experiments.topology_scaling import run as run_topology_scaling
-from repro.topologies import build_topology, condition1_fault_capacity
+from repro.topologies import condition1_fault_capacity
 
 
 def direct_run(layers: int, width: int) -> None:

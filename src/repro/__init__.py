@@ -82,34 +82,34 @@ Quickstart
 
 from __future__ import annotations
 
-from repro.core.topology import HexGrid, NodeId, LinkId, Direction
-from repro.core.parameters import TimingConfig, TimeoutConfig, condition2_timeouts
-from repro.core.pulse_solver import solve_single_pulse, PulseSolution
+from repro.analysis.skew import SkewStatistics, inter_layer_skews, intra_layer_skews
 from repro.core.bounds import (
-    theorem1_intra_layer_bound,
+    corollary1_intra_layer_bound,
     lemma3_skew_potential_bound,
     lemma4_intra_layer_bound,
-    corollary1_intra_layer_bound,
     lemma5_pulse_skew_bound,
+    theorem1_intra_layer_bound,
 )
-from repro.simulation.runner import (
-    simulate_single_pulse,
-    simulate_multi_pulse,
-    SinglePulseResult,
-    MultiPulseResult,
-)
+from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
+from repro.core.pulse_solver import PulseSolution, solve_single_pulse
+from repro.core.topology import Direction, HexGrid, LinkId, NodeId
 from repro.engines import (
     Engine,
     EngineCapabilities,
-    RunSpec,
     RunResult,
+    RunSpec,
     available_engines,
     get_engine,
     register_engine,
 )
-from repro.analysis.skew import SkewStatistics, intra_layer_skews, inter_layer_skews
 from repro.faults.models import FaultModel, FaultType
-from repro.faults.placement import place_faults, check_condition1
+from repro.faults.placement import check_condition1, place_faults
+from repro.simulation.runner import (
+    MultiPulseResult,
+    SinglePulseResult,
+    simulate_multi_pulse,
+    simulate_single_pulse,
+)
 from repro.topologies import (
     Topology,
     available_topologies,

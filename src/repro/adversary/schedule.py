@@ -46,6 +46,7 @@ from repro.adversary.runtime import (
     ScheduledAdversary,
     SetLinkBehavior,
 )
+from repro.checks.schemas import schema
 from repro.core.topology import HexGrid, NodeId
 from repro.faults.models import FaultType, LinkBehavior, NodeFault
 from repro.faults.placement import forbidden_region
@@ -77,7 +78,7 @@ INJECTABLE_FAULT_TYPES = (FaultType.BYZANTINE.value, FaultType.FAIL_SILENT.value
 _LINK_BEHAVIOR_VALUES = (LinkBehavior.CONSTANT_ZERO.value, LinkBehavior.CONSTANT_ONE.value)
 
 #: Schema tag written into serialized schedules.
-SCHEMA = "hex-repro/fault-schedule/v1"
+SCHEMA = schema("fault-schedule")
 
 
 def _canonical_node(value: Optional[Sequence[int]]) -> Optional[Tuple[int, int]]:

@@ -12,28 +12,24 @@
   estimation for multi-pulse runs (Figs. 18, 19).
 """
 
+from repro.analysis.histograms import cumulative_histogram, skew_histograms
+from repro.analysis.locality import exclusion_mask, inclusion_mask, skew_vs_distance
 from repro.analysis.skew import (
     SkewStatistics,
-    intra_layer_skews,
-    inter_layer_skews,
     aggregate,
+    inter_layer_skews,
+    intra_layer_skews,
     per_layer_inter_stats,
     per_layer_intra_stats,
 )
-from repro.analysis.histograms import cumulative_histogram, skew_histograms
-from repro.analysis.locality import exclusion_mask, inclusion_mask, skew_vs_distance
-from repro.analysis.stabilization import (
-    PulseAssignment,
-    assign_pulses,
-    stabilization_time,
-)
+from repro.analysis.stabilization import PulseAssignment, assign_pulses, stabilization_time
 from repro.analysis.traces import (
-    wave_rows,
-    layer_series,
-    save_trace,
-    load_trace,
-    load_event_trace,
     event_trace_times,
+    layer_series,
+    load_event_trace,
+    load_trace,
+    save_trace,
+    wave_rows,
 )
 
 __all__ = [

@@ -17,7 +17,7 @@ the nearest fault, quantifying fault locality directly.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 

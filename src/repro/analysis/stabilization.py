@@ -20,12 +20,11 @@ The per-layer skew bound ``sigma(f, l)`` is parameterised by the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.analysis.skew import inter_layer_skews, intra_layer_skews
-from repro.core.parameters import TimingConfig
 from repro.core.topology import HexGrid
 from repro.simulation.runner import MultiPulseResult
 

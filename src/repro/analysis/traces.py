@@ -129,7 +129,7 @@ def load_event_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
     no captured DES events (tracing without ``--trace-events`` records spans
     only).
     """
-    from repro.obs import load_trace_records
+    from repro.obs import load_trace_records  # repro: allow-import[lazy loader for obs trace artifacts; analysis stays obs-free at import time]
 
     events: List[Dict[str, Any]] = []
     for record in load_trace_records(path):
@@ -155,6 +155,6 @@ def event_trace_times(
     the input of :func:`wave_rows` and :func:`save_trace` -- without
     importing the observability package directly.
     """
-    from repro.obs import first_firing_matrix_from_events
+    from repro.obs import first_firing_matrix_from_events  # repro: allow-import[lazy loader for obs trace artifacts; analysis stays obs-free at import time]
 
     return first_firing_matrix_from_events(events, layers, width)

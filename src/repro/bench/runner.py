@@ -20,7 +20,6 @@ import datetime
 import json
 import os
 import platform
-import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +31,7 @@ from repro import obs
 from repro.bench.case import BenchCase, BenchSettings
 from repro.bench.registry import available_suites, cases_in_suite, load_builtin_suites
 from repro.bench.stats import robust_stats
+from repro.checks.schemas import schema
 
 __all__ = [
     "SUITE_SCHEMA",
@@ -46,10 +46,10 @@ __all__ = [
 ]
 
 #: Schema tag of one suite's payload.
-SUITE_SCHEMA = "hex-repro/bench-suite/v1"
+SUITE_SCHEMA = schema("bench-suite")
 
 #: Schema tag of the combined all-suites payload (``BENCH_suite.json``).
-COMBINED_SCHEMA = "hex-repro/bench/v1"
+COMBINED_SCHEMA = schema("bench")
 
 #: Version number shared by both payload kinds.
 SCHEMA_VERSION = 1

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.analysis.locality import inclusion_mask
 from repro.analysis.skew import SkewStatistics, collect_inter_values, collect_intra_values
+from repro.checks.schemas import schema
 from repro.core.topology import HexGrid, NodeId
 from repro.faults.models import FaultModel, NodeFault
 from repro.topologies import DEFAULT_TOPOLOGY, build_topology, topology_column_wrap
@@ -49,7 +50,7 @@ __all__ = [
 ]
 
 #: Schema tag written into every serialized record.
-SCHEMA = "hex-repro/run-record/v1"
+SCHEMA = schema("run-record")
 
 #: Sentinel strings for non-finite floats in strict-JSON serialization.
 _NONFINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}

@@ -38,22 +38,17 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.skew import SkewStatistics
 from repro.analysis.stabilization import stabilization_time
 from repro.campaign.progress import ProgressReporter
-from repro.campaign.records import (
-    RunRecord,
-    group_by_point,
-    pooled_statistics,
-    stabilization_times,
-)
+from repro.campaign.records import RunRecord, group_by_point, pooled_statistics, stabilization_times
 from repro.campaign.spec import CampaignSpec, RunTask
 from repro.campaign.store import CampaignStore
 from repro.clocksource.scenarios import parse_scenario
 from repro.core.bounds import stable_skew_choice
 from repro.engines import Engine, get_engine
 from repro.engines.des import scenario_layer0_spread
-from repro import obs
 
 __all__ = ["execute_task", "execute_task_batch", "CampaignResult", "CampaignRunner"]
 

@@ -1,0 +1,55 @@
+"""Contract-enforcing static analysis for the reproduction codebase.
+
+``repro.checks`` is the repo's own linter: a small AST-visitor framework plus
+rule registry (mirroring :mod:`repro.engines` / :mod:`repro.topologies`) that
+enforces the contracts the test suite cannot see -- the layering DAG,
+determinism hygiene, content-key stability and the single-source artifact
+schema registry.  ``hex-repro check`` runs it; CI runs it as a blocking gate.
+
+Rule bodies live in their family modules and self-register on import;
+:func:`load_builtin_rules` imports them all (idempotently), mirroring
+``repro.bench.load_builtin_suites``.  :mod:`repro.checks.schemas` is the one
+runtime-facing piece: a dependency-free registry of artifact schema strings
+that every layer may import.
+"""
+
+from repro.checks.findings import SEVERITIES, Finding
+from repro.checks.registry import (
+    CheckContext,
+    CheckReport,
+    Rule,
+    available_rules,
+    default_root,
+    get_rule,
+    register_rule,
+    run_checks,
+    unregister_rule,
+)
+from repro.checks.schemas import SCHEMAS, schema
+from repro.checks.source import RuleVisitor, SourceModule, Waiver, scan_package
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Rule",
+    "CheckContext",
+    "CheckReport",
+    "register_rule",
+    "unregister_rule",
+    "get_rule",
+    "available_rules",
+    "run_checks",
+    "default_root",
+    "SCHEMAS",
+    "schema",
+    "RuleVisitor",
+    "SourceModule",
+    "Waiver",
+    "scan_package",
+    "load_builtin_rules",
+]
+
+
+def load_builtin_rules() -> None:
+    """Import every built-in rule module (registering its rules); idempotent."""
+    from repro.checks import artifacts, contentkeys, determinism, layering  # noqa: F401

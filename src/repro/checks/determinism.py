@@ -1,0 +1,334 @@
+"""Determinism rules: seeded randomness, injected clocks, canonical JSON.
+
+The reproduction's headline guarantee is that ``(spec, seed)`` determines
+every record bit-for-bit.  Four rules keep the guarantees mechanical:
+
+* ``D001`` -- no ambient randomness: the stdlib ``random`` module, NumPy's
+  legacy global generator (``np.random.seed`` / ``np.random.random`` / ...)
+  and unseeded ``default_rng()`` calls are all banned; randomness enters
+  through a seeded ``np.random.Generator`` passed down from the
+  seed-derivation coordinates.
+* ``D002`` -- no wall clocks in result paths: ``time.time`` /
+  ``perf_counter`` / ``datetime.now`` are confined to the telemetry modules
+  (``obs``, ``bench``, campaign progress/wall-time accounting); everything
+  else must take simulated time as data.
+* ``D003`` -- canonical JSON only: every ``json.dumps`` call must pass
+  ``sort_keys=True`` (the :func:`repro.engines.base.canonical_json` helper is
+  the preferred spelling in record-producing modules), so hashes and records
+  never depend on dict insertion order.
+* ``D004`` -- no float equality in the solver/DES hot paths: exact ``==`` /
+  ``!=`` against float literals or ``float()`` coercions silently breaks on
+  the accumulated-error boundary; compare against tolerances or restructure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.checks.findings import Finding
+from repro.checks.registry import CheckContext, register_rule
+from repro.checks.source import RuleVisitor, SourceModule
+
+__all__ = [
+    "NUMPY_LEGACY_GLOBALS",
+    "WALL_CLOCK_ALLOWED_PREFIXES",
+    "HOT_PATH_MODULES",
+]
+
+#: Legacy NumPy global-state RNG entry points (all draw from one hidden,
+#: process-wide generator).
+NUMPY_LEGACY_GLOBALS = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "exponential",
+        "poisson",
+        "binomial",
+    }
+)
+
+#: Package-relative module prefixes where wall-clock reads are legitimate:
+#: telemetry and benchmarking measure the host, not the simulation.
+WALL_CLOCK_ALLOWED_PREFIXES = (
+    "obs",
+    "bench",
+    "campaign.progress",
+    "campaign.runner",  # per-record wall_time_s telemetry only
+)
+
+#: Modules whose inner loops carry accumulated float arithmetic; exact
+#: equality there is a latent boundary bug.
+HOT_PATH_MODULES = (
+    "core.pulse_solver",
+    "simulation.engine",
+    "simulation.links",
+    "simulation.network",
+    "engines.des",
+    "engines.solver",
+)
+
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "monotonic", "perf_counter", "process_time", "clock"}
+)
+_WALL_CLOCK_DATE_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _module_matches(module: SourceModule, prefixes: Tuple[str, ...]) -> bool:
+    relative = module.package_relative()
+    return any(
+        relative == prefix or relative.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+class _RandomVisitor(RuleVisitor):
+    """D001: ambient-randomness detector."""
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "stdlib 'random' draws from hidden global state; thread a "
+                    "seeded np.random.Generator through instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            self.report(
+                node,
+                "stdlib 'random' draws from hidden global state; thread a "
+                "seeded np.random.Generator through instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # random.<fn>(...) on the stdlib module object.
+            if isinstance(base, ast.Name) and base.id == "random":
+                self.report(
+                    node,
+                    f"module-level random.{func.attr}() call; draw from a "
+                    "seeded np.random.Generator instead",
+                )
+            # np.random.<legacy fn>(...) on the hidden global generator.
+            elif (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in ("np", "numpy")
+                and func.attr in NUMPY_LEGACY_GLOBALS
+            ):
+                self.report(
+                    node,
+                    f"np.random.{func.attr}() uses NumPy's global generator; "
+                    "use np.random.default_rng(seed) / a passed-in Generator",
+                )
+            # default_rng() without a seed argument.
+            elif func.attr == "default_rng" and not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "unseeded default_rng() is not reproducible; derive the "
+                    "generator from the spec's seed coordinates (or waive a "
+                    "documented escape with # repro: allow-random[reason])",
+                )
+        self.generic_visit(node)
+
+
+class _WallClockVisitor(RuleVisitor):
+    """D002: wall-clock detector."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                func.attr in _WALL_CLOCK_TIME_ATTRS
+                and isinstance(base, ast.Name)
+                and base.id in ("time", "_time")
+            ):
+                self.report(
+                    node,
+                    f"wall-clock read time.{func.attr}() outside the telemetry "
+                    "allowlist; simulated time must come from the event queue / "
+                    "spec, wall time belongs in repro.obs or repro.bench",
+                )
+            elif func.attr in _WALL_CLOCK_DATE_ATTRS and (
+                (isinstance(base, ast.Name) and base.id in ("datetime", "date"))
+                or (
+                    isinstance(base, ast.Attribute)
+                    and base.attr in ("datetime", "date")
+                )
+            ):
+                self.report(
+                    node,
+                    f"wall-clock read {ast.unparse(func)}() outside the "
+                    "telemetry allowlist; timestamps in records break "
+                    "byte-identical reproduction",
+                )
+        self.generic_visit(node)
+
+
+class _JsonDumpsVisitor(RuleVisitor):
+    """D003: non-canonical ``json.dumps`` detector."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "dumps"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "json"
+        ):
+            sorted_keys = any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            )
+            if not sorted_keys:
+                self.report(
+                    node,
+                    "json.dumps without sort_keys=True: key order (and any "
+                    "hash of the output) then depends on dict construction "
+                    "order; use repro.engines.base.canonical_json for "
+                    "record/hash payloads, or pass sort_keys=True",
+                )
+        self.generic_visit(node)
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return False
+
+
+class _FloatEqVisitor(RuleVisitor):
+    """D004: float equality in hot paths."""
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for index, operator in enumerate(node.ops):
+            if isinstance(operator, (ast.Eq, ast.NotEq)):
+                if _is_floatish(operands[index]) or _is_floatish(operands[index + 1]):
+                    self.report(
+                        node,
+                        "exact float ==/!= in a solver/DES hot path; "
+                        "accumulated delay arithmetic makes exact equality a "
+                        "boundary bug -- compare with a tolerance or "
+                        "restructure the guard",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def _run_visitor(
+    context: CheckContext,
+    visitor_type,
+    rule_id: str,
+    severity: str = "error",
+    modules=None,
+) -> Iterator[Finding]:
+    for module in modules if modules is not None else context.modules:
+        for line, message in visitor_type(module).run():
+            yield Finding(
+                rule=rule_id,
+                severity=severity,
+                path=module.rel_path,
+                line=line,
+                message=message,
+            )
+
+
+@register_rule(
+    id="D001",
+    name="determinism-random",
+    severity="error",
+    waiver="random",
+    doc=(
+        "No ambient randomness: stdlib random, NumPy's legacy global RNG and "
+        "unseeded default_rng() are banned; randomness flows from the seeded "
+        "Generator the spec's (entropy, run_index) coordinates derive.  Waive "
+        "documented escapes with # repro: allow-random[reason]."
+    ),
+)
+def check_random(context: CheckContext) -> Iterator[Finding]:
+    return _run_visitor(context, _RandomVisitor, "D001")
+
+
+@register_rule(
+    id="D002",
+    name="determinism-wall-clock",
+    severity="error",
+    waiver="wall-clock",
+    doc=(
+        "Wall-clock reads (time.time/monotonic/perf_counter, datetime.now) are "
+        "confined to the telemetry modules (repro.obs, repro.bench, campaign "
+        "progress/wall-time accounting); result-producing code takes simulated "
+        "time as data.  Waive with # repro: allow-wall-clock[reason]."
+    ),
+)
+def check_wall_clock(context: CheckContext) -> Iterator[Finding]:
+    modules = [
+        module
+        for module in context.modules
+        if not _module_matches(module, WALL_CLOCK_ALLOWED_PREFIXES)
+    ]
+    return _run_visitor(context, _WallClockVisitor, "D002", modules=modules)
+
+
+@register_rule(
+    id="D003",
+    name="determinism-canonical-json",
+    severity="error",
+    waiver="json-dumps",
+    doc=(
+        "Every json.dumps must pass sort_keys=True (records, stores, hashes "
+        "and artifacts all canonicalise key order); "
+        "repro.engines.base.canonical_json is the preferred spelling for "
+        "anything that gets hashed.  Waive with # repro: allow-json-dumps[reason]."
+    ),
+)
+def check_canonical_json(context: CheckContext) -> Iterator[Finding]:
+    return _run_visitor(context, _JsonDumpsVisitor, "D003")
+
+
+@register_rule(
+    id="D004",
+    name="determinism-float-eq",
+    severity="error",
+    waiver="float-eq",
+    doc=(
+        "Exact ==/!= against float literals or float() coercions is banned in "
+        "the solver/DES hot-path modules (core.pulse_solver, simulation.*, "
+        "engines.solver/des): accumulated delay arithmetic makes exact "
+        "equality a boundary bug.  Waive with # repro: allow-float-eq[reason]."
+    ),
+)
+def check_float_eq(context: CheckContext) -> Iterator[Finding]:
+    modules = [
+        module
+        for module in context.modules
+        if _module_matches(module, HOT_PATH_MODULES)
+    ]
+    return _run_visitor(context, _FloatEqVisitor, "D004", modules=modules)

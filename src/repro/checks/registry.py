@@ -1,0 +1,267 @@
+"""Rule registry and check runner.
+
+Mirrors the registry idiom of :mod:`repro.engines` and
+:mod:`repro.topologies`: rules self-register at import time through
+:func:`register_rule`, the CLI looks them up by id, and
+:func:`run_checks` drives the whole pass -- scan the tree once, run each
+rule, thread every finding through the inline-waiver filter, and flag
+waivers that are empty (``W001``) or stale (``W002``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.checks.findings import SEVERITIES, Finding
+from repro.checks.schemas import schema
+from repro.checks.source import SourceModule, scan_package
+
+__all__ = [
+    "Rule",
+    "CheckContext",
+    "CheckReport",
+    "register_rule",
+    "unregister_rule",
+    "get_rule",
+    "available_rules",
+    "run_checks",
+    "default_root",
+]
+
+#: Rule ids reserved for the waiver framework itself (emitted by the runner,
+#: not by a registered check body).
+FRAMEWORK_RULES = ("W001", "W002")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule.
+
+    Attributes
+    ----------
+    id:
+        Short stable identifier (``"L001"``); what ``--rule`` selects and
+        findings carry.
+    name:
+        Kebab-case human name (``"layering-dag"``).
+    severity:
+        Severity of the findings this rule yields.
+    waiver:
+        Tag of the inline waiver that may cover this rule's findings
+        (``"import"`` matches ``# repro: allow-import[reason]``), or ``None``
+        for contract rules that must never be waived in place.
+    doc:
+        One-paragraph description shown by ``hex-repro check --list``.
+    check:
+        The rule body: ``check(context) -> iterable of Finding``.
+    """
+
+    id: str
+    name: str
+    severity: str
+    waiver: Optional[str]
+    doc: str
+    check: Callable[["CheckContext"], Iterable[Finding]]
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+        if self.id in FRAMEWORK_RULES:
+            raise ValueError(f"rule id {self.id!r} is reserved for the waiver framework")
+
+
+@dataclass
+class CheckContext:
+    """Everything a rule body may consult: the scanned tree and its root."""
+
+    root: Path
+    modules: List[SourceModule]
+
+    def module(self, rel_path: str) -> Optional[SourceModule]:
+        """Look one module up by its root-relative path."""
+        for module in self.modules:
+            if module.rel_path == rel_path:
+                return module
+        return None
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(
+    *,
+    id: str,
+    name: str,
+    severity: str = "error",
+    waiver: Optional[str] = None,
+    doc: str = "",
+) -> Callable[[Callable[[CheckContext], Iterable[Finding]]], Callable[[CheckContext], Iterable[Finding]]]:
+    """Class/function decorator registering one rule body under ``id``."""
+
+    def decorator(
+        check: Callable[[CheckContext], Iterable[Finding]]
+    ) -> Callable[[CheckContext], Iterable[Finding]]:
+        if id in _RULES:
+            raise ValueError(f"rule id {id!r} is already registered")
+        _RULES[id] = Rule(
+            id=id, name=name, severity=severity, waiver=waiver, doc=doc, check=check
+        )
+        return check
+
+    return decorator
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a rule from the registry (test isolation helper)."""
+    _RULES.pop(rule_id, None)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id, listing the known ids on a miss."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES)) or "(none loaded)"
+        raise ValueError(
+            f"unknown rule {rule_id!r}; registered rules: {known} "
+            "(did you call load_builtin_rules()?)"
+        ) from None
+
+
+def available_rules() -> List[Rule]:
+    """All registered rules, sorted by id."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the default scan root)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@dataclass
+class CheckReport:
+    """The outcome of one :func:`run_checks` pass."""
+
+    root: Path
+    rules: List[str]
+    findings: List[Finding]
+    waived: List[Finding]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the gate passes (no active findings)."""
+        return not self.findings
+
+    def exit_code(self) -> int:
+        """CLI/CI exit code: 0 clean, 1 findings."""
+        return 0 if self.clean else 1
+
+    def render(self) -> str:
+        """Human-readable report (one clickable line per finding)."""
+        lines = [finding.format() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.waived)} waived, "
+            f"{len(self.rules)} rule(s) over {self.root}"
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The ``hex-repro/check-findings/v1`` document (the CI artifact)."""
+        return {
+            "schema": schema("check-findings"),
+            "root": str(self.root),
+            "rules": list(self.rules),
+            "findings": [finding.to_json_dict() for finding in self.findings],
+            "waived": [finding.to_json_dict() for finding in self.waived],
+        }
+
+
+def run_checks(
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    package: str = "repro",
+) -> CheckReport:
+    """Run the (selected) rules over the package tree under ``root``.
+
+    Waiver semantics: a finding whose line (or the line above) carries a
+    matching ``# repro: allow-<tag>[reason]`` comment moves to the report's
+    ``waived`` list when the reason is non-empty.  An empty reason keeps the
+    finding active and adds a ``W001`` finding; when the *full* rule set runs,
+    waivers that covered nothing add ``W002`` findings (rule subsets skip the
+    staleness pass, since unselected rules cannot mark their waivers used).
+    """
+    scan_root = Path(root) if root is not None else default_root()
+    modules = scan_package(scan_root, package=package)
+    context = CheckContext(root=scan_root, modules=modules)
+    by_path = {module.rel_path: module for module in modules}
+
+    if rule_ids is None:
+        selected = available_rules()
+    else:
+        selected = [get_rule(rule_id) for rule_id in rule_ids]
+
+    active: List[Finding] = []
+    waived: List[Finding] = []
+    for rule in selected:
+        for finding in rule.check(context):
+            module = by_path.get(finding.path)
+            waiver = (
+                module.waiver_at(finding.line, rule.waiver)
+                if module is not None and rule.waiver is not None
+                else None
+            )
+            if waiver is None:
+                active.append(finding)
+                continue
+            waiver.used = True
+            if waiver.reason:
+                waived.append(
+                    replace(finding, waived=True, waiver_reason=waiver.reason)
+                )
+            else:
+                active.append(finding)
+                active.append(
+                    Finding(
+                        rule="W001",
+                        severity="error",
+                        path=finding.path,
+                        line=waiver.line,
+                        message=(
+                            f"waiver 'allow-{waiver.tag}' has an empty reason; "
+                            "every exception must say why: "
+                            f"# repro: allow-{waiver.tag}[reason]"
+                        ),
+                    )
+                )
+    if rule_ids is None:
+        for module in modules:
+            for waiver in module.waivers:
+                if not waiver.used:
+                    active.append(
+                        Finding(
+                            rule="W002",
+                            severity="error",
+                            path=module.rel_path,
+                            line=waiver.line,
+                            message=(
+                                f"waiver 'allow-{waiver.tag}' covers no finding; "
+                                "delete the stale exception (or fix its tag)"
+                            ),
+                        )
+                    )
+    # One waiver can cover several findings; dedupe the framework findings it
+    # spawned (Finding equality ignores the waiver bookkeeping fields).
+    active = sorted(dict.fromkeys(active), key=Finding.sort_key)
+    waived.sort(key=Finding.sort_key)
+    return CheckReport(
+        root=scan_root,
+        rules=[rule.id for rule in selected],
+        findings=active,
+        waived=waived,
+    )

@@ -97,17 +97,17 @@ from repro.clocksource.scenarios import scenario_label
 from repro.core.topology import HexGrid
 from repro.engines import available_engines, get_engine
 from repro.engines.base import DELAY_MODELS
+from repro.experiments import EXPERIMENTS, load_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_kv, format_table
+from repro.experiments.single_pulse import run_scenario_set
+from repro.faults.models import FaultType
 from repro.topologies import (
     available_topologies,
     build_topology,
     condition1_fault_capacity,
     get_topology,
 )
-from repro.experiments import EXPERIMENTS, load_experiment
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.report import format_kv, format_table
-from repro.experiments.single_pulse import run_scenario_set
-from repro.faults.models import FaultType
 
 __all__ = ["main", "build_parser"]
 
@@ -230,6 +230,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     topologies_parser.add_argument(
         "--width", type=int, default=8, help="reference grid width W for the counts"
+    )
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the contract checks (layering, determinism, content keys, schemas)",
+    )
+    check_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the hex-repro/check-findings/v1 document instead of text",
+    )
+    check_parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable); skips the stale-waiver pass",
+    )
+    check_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list the registered rules and exit",
+    )
+    check_parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="package directory to scan (default: the installed repro package)",
+    )
+    check_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON findings document to this path",
     )
 
     adversary_parser = subparsers.add_parser(
@@ -922,6 +957,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.checks import available_rules, load_builtin_rules, run_checks
+
+    load_builtin_rules()
+    if args.list_rules:
+        for rule in available_rules():
+            waiver = f"allow-{rule.waiver}" if rule.waiver else "(not waivable)"
+            print(f"{rule.id}  {rule.name:28s} {rule.severity:8s} {waiver}")
+            if rule.doc:
+                print(f"      {rule.doc}")
+        return 0
+    report = run_checks(
+        root=Path(args.root) if args.root else None,
+        rule_ids=args.rule,
+    )
+    document = json_module.dumps(report.to_json_dict(), sort_keys=True, indent=2)
+    if args.out:
+        out_path = Path(args.out)
+        if out_path.parent != Path(""):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(document + "\n", encoding="utf-8")
+    if args.json:
+        print(document)
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -934,6 +1000,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_engines(args)
         if args.command == "topologies":
             return _cmd_topologies(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "adversary":
             return _cmd_adversary(args)
         if args.command == "bench":

@@ -15,15 +15,15 @@ FATAL+ as suitable implementations.  This subpackage provides
   HEX integrates with a distributed multi-source clock generation layer.
 """
 
+from repro.clocksource.fatal import QuorumPulseSynchronizer, SynchronizerConfig
+from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
 from repro.clocksource.scenarios import (
     SCENARIOS,
     Scenario,
+    scenario_label,
     scenario_layer0_times,
     scenario_skew_potential,
-    scenario_label,
 )
-from repro.clocksource.generator import generate_pulse_schedule, PulseScheduleConfig
-from repro.clocksource.fatal import QuorumPulseSynchronizer, SynchronizerConfig
 
 __all__ = [
     "SCENARIOS",

@@ -31,13 +31,11 @@ This is a *substitute substrate*, not a reproduction of FATAL+; see DESIGN.md.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.parameters import TimingConfig
 
 __all__ = ["SynchronizerConfig", "QuorumPulseSynchronizer"]
 
@@ -112,7 +110,7 @@ class QuorumPulseSynchronizer:
         byzantine_sources: Optional[Sequence[int]] = None,
     ) -> None:
         self.config = config
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro: allow-random[injection default for interactive use; engines always pass a seeded generator]
         if byzantine_sources is None:
             byzantine_sources = range(
                 config.num_sources - config.num_byzantine, config.num_sources

@@ -15,8 +15,8 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.parameters import TimeoutConfig, TimingConfig
 from repro.clocksource.scenarios import Scenario, scenario_layer0_times
+from repro.core.parameters import TimeoutConfig, TimingConfig
 
 __all__ = ["PulseScheduleConfig", "generate_pulse_schedule"]
 

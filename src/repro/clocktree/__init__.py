@@ -17,11 +17,11 @@ comparison can be *measured*:
 * :mod:`repro.clocktree.comparison` -- the HEX-vs-clock-tree scaling study.
 """
 
-from repro.clocktree.htree import HTree, HTreeNode, build_htree
-from repro.clocktree.delays import TreeDelayConfig, sample_element_delays
-from repro.clocktree.simulation import sink_arrival_times, tree_skew_report, TreeSkewReport
-from repro.clocktree.faults import subtree_sink_counts, sinks_lost_by_fault, robustness_report
 from repro.clocktree.comparison import ScalingComparison, compare_scaling
+from repro.clocktree.delays import TreeDelayConfig, sample_element_delays
+from repro.clocktree.faults import robustness_report, sinks_lost_by_fault, subtree_sink_counts
+from repro.clocktree.htree import HTree, HTreeNode, build_htree
+from repro.clocktree.simulation import TreeSkewReport, sink_arrival_times, tree_skew_report
 
 __all__ = [
     "HTree",

@@ -13,7 +13,7 @@ per-link ``epsilon`` of an ``O(1)``-length wire.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

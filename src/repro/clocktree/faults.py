@@ -10,7 +10,7 @@ average over a uniformly random fault) used in the HEX comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

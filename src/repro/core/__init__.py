@@ -11,9 +11,9 @@ This subpackage contains the paper's primary contribution:
 * :mod:`repro.core.worstcase` -- deterministic worst-case constructions (Figs. 5, 17).
 """
 
-from repro.core.topology import HexGrid, NodeId, LinkId, Direction
-from repro.core.parameters import TimingConfig, TimeoutConfig, condition2_timeouts
-from repro.core.pulse_solver import solve_single_pulse, PulseSolution
+from repro.core.parameters import TimeoutConfig, TimingConfig, condition2_timeouts
+from repro.core.pulse_solver import PulseSolution, solve_single_pulse
+from repro.core.topology import Direction, HexGrid, LinkId, NodeId
 
 __all__ = [
     "HexGrid",

@@ -36,7 +36,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.topology import Direction, NodeId, TRIGGER_GUARDS, GUARD_NAMES
+from repro.core.topology import GUARD_NAMES, TRIGGER_GUARDS, Direction, NodeId
 
 __all__ = [
     "NodePhase",

@@ -37,11 +37,11 @@ EXPERIMENTS.md; all simulated skews stay far below either value.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.core.parameters import TimingConfig, lambda0
+from repro.core.parameters import TimingConfig
 
 __all__ = [
     "skew_potential",

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from repro.core.algorithm import GuardKind
-from repro.core.topology import Direction, HexGrid, NodeId, TRIGGER_GUARDS
+from repro.core.topology import TRIGGER_GUARDS, Direction, HexGrid, NodeId
 from repro.faults.models import FaultModel, LinkBehavior
 
 __all__ = [

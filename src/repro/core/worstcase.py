@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.parameters import TimingConfig
 from repro.core.topology import Direction, HexGrid, NodeId
 from repro.faults.models import FaultModel, LinkBehavior, NodeFault
+# repro: allow-import[worst-case constructions emit per-link delay tables; TableDelays predates the layering split]
 from repro.simulation.links import TableDelays
 
 __all__ = [

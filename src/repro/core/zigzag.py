@@ -26,7 +26,7 @@ suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.algorithm import GuardKind
 from repro.core.parameters import TimingConfig

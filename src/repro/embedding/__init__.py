@@ -14,8 +14,8 @@ care.  The paper discusses two options:
 * :mod:`repro.embedding.doubling` -- the circular doubling-layer layout.
 """
 
-from repro.embedding.planar import FlattenedEmbedding, planar_wire_length_stats
 from repro.embedding.doubling import DoublingLayout, build_doubling_layout
+from repro.embedding.planar import FlattenedEmbedding, planar_wire_length_stats
 
 __all__ = [
     "FlattenedEmbedding",

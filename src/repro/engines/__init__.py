@@ -39,14 +39,9 @@ from repro.engines.base import (
     content_key,
     generic_run_batch,
 )
-from repro.engines.registry import (
-    available_engines,
-    get_engine,
-    register_engine,
-    unregister_engine,
-)
 from repro.engines.clocktree import ClockTreeEngine
 from repro.engines.des import DesEngine
+from repro.engines.registry import available_engines, get_engine, register_engine, unregister_engine
 from repro.engines.solver import SolverEngine
 
 __all__ = [

@@ -468,7 +468,7 @@ class RunSpec:
         run is then *not* reproducible -- useful only for exploration).
         """
         if self.entropy is None:
-            return np.random.default_rng()
+            return np.random.default_rng()  # repro: allow-random[documented escape: entropy=None means exploratory, non-reproducible runs]
         sequence = np.random.SeedSequence(entropy=self.entropy, spawn_key=(self.run_index,))
         return np.random.default_rng(sequence)
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.clocktree.delays import TreeDelayConfig, sample_element_delays
 from repro.clocktree.htree import build_htree
 from repro.clocktree.simulation import sink_arrival_times, tree_skew_report
@@ -36,7 +37,6 @@ from repro.engines.base import (
     require_schedule_support,
     require_topology_support,
 )
-from repro import obs
 
 __all__ = ["ClockTreeEngine"]
 

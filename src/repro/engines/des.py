@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.adversary.runtime import ScheduledAdversary
 from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
 from repro.clocksource.scenarios import Scenario, scenario_layer0_times
@@ -37,7 +38,6 @@ from repro.engines.base import (
 )
 from repro.faults.models import FaultModel
 from repro.faults.placement import build_fault_model
-from repro import obs
 from repro.simulation.links import DelayModel, FreshUniformDelays, UniformRandomDelays
 from repro.simulation.network import HexNetwork, TimerPolicy
 

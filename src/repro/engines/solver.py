@@ -13,13 +13,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.clocksource.scenarios import scenario_layer0_times
 from repro.core.parameters import TimeoutConfig, TimingConfig
-from repro.core.pulse_solver import (
-    solve_single_pulse,
-    solve_single_pulse_planned,
-    solver_plan,
-)
+from repro.core.pulse_solver import solve_single_pulse, solve_single_pulse_planned, solver_plan
 from repro.core.topology import HexGrid
 from repro.engines.base import (
     EngineCapabilities,
@@ -32,7 +29,6 @@ from repro.engines.base import (
 )
 from repro.faults.models import FaultModel
 from repro.faults.placement import build_fault_model
-from repro import obs
 from repro.simulation.links import DelayModel, UniformRandomDelays
 from repro.simulation.network import TimerPolicy
 

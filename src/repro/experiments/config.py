@@ -11,7 +11,6 @@ keeps the paper's grid and delays but uses a reduced run count; pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 import numpy as np
 

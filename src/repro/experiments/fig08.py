@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.analysis.skew import intra_layer_skews
 from repro.analysis.traces import wave_rows
-from repro.clocksource.scenarios import Scenario, scenario_layer0_times
+from repro.clocksource.scenarios import Scenario
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_kv
 from repro.experiments.single_pulse import run_scenario_set

@@ -46,7 +46,7 @@ class Fig12Result:
         data = self.series[scenario]
         max_series = data["max"]
         final = float(np.nanmean(max_series[-3:]))
-        for index, value in enumerate(max_series):
+        for index in range(len(max_series)):
             if np.all(np.abs(max_series[index:] - final) <= tolerance):
                 return int(data["layer"][index])
         return int(data["layer"][-1])

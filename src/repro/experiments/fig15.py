@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.skew import SkewStatistics
 from repro.campaign.records import pooled_statistics
 from repro.campaign.runner import CampaignRunner

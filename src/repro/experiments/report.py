@@ -8,7 +8,7 @@ any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 __all__ = ["format_table", "format_comparison", "format_kv"]
 

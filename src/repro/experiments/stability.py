@@ -22,8 +22,8 @@ exactly the three series the paper plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
 
 import numpy as np
 

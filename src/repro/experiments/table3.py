@@ -20,11 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.clocksource.scenarios import SCENARIOS, Scenario, scenario_label
-from repro.core.parameters import (
-    PAPER_SIGNAL_DURATION_NS,
-    TimeoutConfig,
-    condition2_timeouts,
-)
+from repro.core.parameters import PAPER_SIGNAL_DURATION_NS, TimeoutConfig, condition2_timeouts
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.experiments.single_pulse import run_scenario_set

@@ -8,18 +8,13 @@
   paper derives for it.
 """
 
-from repro.faults.models import (
-    FaultType,
-    LinkBehavior,
-    NodeFault,
-    FaultModel,
-)
+from repro.faults.models import FaultModel, FaultType, LinkBehavior, NodeFault
 from repro.faults.placement import (
     check_condition1,
+    condition1_probability_lower_bound,
     condition1_violations,
     forbidden_region,
     place_faults,
-    condition1_probability_lower_bound,
 )
 
 __all__ = [

@@ -13,13 +13,13 @@ neighbours is the HEX skew plus a drift term of roughly
   and the bound/measurement helpers.
 """
 
-from repro.multiplication.oscillator import StartStopOscillator
 from repro.multiplication.fastclock import (
-    MultiplierConfig,
     FrequencyMultiplier,
+    MultiplierConfig,
     fast_clock_skew_bound,
     measure_fast_clock_skew,
 )
+from repro.multiplication.oscillator import StartStopOscillator
 
 __all__ = [
     "StartStopOscillator",

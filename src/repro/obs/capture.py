@@ -19,7 +19,7 @@ which is what keeps instrumented runs bit-identical to bare ones.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 import numpy as np
 

@@ -29,6 +29,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.checks.schemas import schema
+
 __all__ = [
     "METRICS_SCHEMA",
     "METRICS_SCHEMA_VERSION",
@@ -37,7 +39,7 @@ __all__ = [
 ]
 
 #: Schema tag of a serialized metrics snapshot.
-METRICS_SCHEMA = "hex-repro/metrics/v1"
+METRICS_SCHEMA = schema("metrics")
 
 #: Version number of the snapshot schema.
 METRICS_SCHEMA_VERSION = 1

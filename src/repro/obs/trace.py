@@ -24,7 +24,9 @@ import itertools
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.checks.schemas import schema
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -34,7 +36,7 @@ __all__ = [
 ]
 
 #: Schema tag carried in the header line of a trace file.
-TRACE_SCHEMA = "hex-repro/trace/v1"
+TRACE_SCHEMA = schema("trace")
 
 #: Version number of the trace schema.
 TRACE_SCHEMA_VERSION = 1

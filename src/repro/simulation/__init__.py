@@ -10,20 +10,20 @@
   multi-pulse runs, and seeded run sets.
 """
 
+from repro.simulation.engine import EventQueue
 from repro.simulation.links import (
-    DelayModel,
     ConstantDelays,
+    DelayModel,
+    FreshUniformDelays,
     TableDelays,
     UniformRandomDelays,
-    FreshUniformDelays,
 )
-from repro.simulation.engine import EventQueue
 from repro.simulation.network import HexNetwork, TimerPolicy
 from repro.simulation.runner import (
-    simulate_single_pulse,
-    simulate_multi_pulse,
-    SinglePulseResult,
     MultiPulseResult,
+    SinglePulseResult,
+    simulate_multi_pulse,
+    simulate_single_pulse,
 )
 
 __all__ = [

@@ -21,7 +21,7 @@ each individual message:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping
 
 import numpy as np
 

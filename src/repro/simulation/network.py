@@ -30,16 +30,11 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.algorithm import (
-    FiringRecord,
-    HexNodeAutomaton,
-    INCOMING_DIRECTIONS,
-    NodePhase,
-)
+from repro.core.algorithm import INCOMING_DIRECTIONS, FiringRecord, HexNodeAutomaton, NodePhase
 from repro.core.parameters import TimeoutConfig, TimingConfig
 from repro.core.topology import Direction, HexGrid, NodeId
 from repro.faults.models import FaultModel, FaultType, LinkBehavior, NodeFault
@@ -439,7 +434,7 @@ class HexNetwork:
     # ------------------------------------------------------------------
     def _broadcast(self, source: NodeId, time: float) -> None:
         """Send the trigger message of ``source`` on all its outgoing links."""
-        for direction, destination in sorted(
+        for _direction, destination in sorted(
             self.grid.out_neighbors(source).items(), key=lambda item: item[0].value
         ):
             if destination[0] == 0:

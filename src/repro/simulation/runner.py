@@ -29,14 +29,16 @@ bit-identical seed-stream contract) is owned by the engines and unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.parameters import TimeoutConfig, TimingConfig
 from repro.core.pulse_solver import PulseSolution
 from repro.core.topology import HexGrid, NodeId
+# repro: allow-import[legacy shim: runner predates engines and forwards to them for compatibility]
 from repro.engines.des import single_pulse_default_timeouts
+# repro: allow-import[legacy shim: runner predates engines and forwards to them for compatibility]
 from repro.engines.registry import get_engine
 from repro.faults.models import FaultModel
 from repro.simulation.links import DelayModel

@@ -4,12 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.algorithm import (
-    GuardKind,
-    HexNodeAutomaton,
-    INCOMING_DIRECTIONS,
-    NodePhase,
-)
+from repro.core.algorithm import INCOMING_DIRECTIONS, GuardKind, HexNodeAutomaton, NodePhase
 from repro.core.topology import Direction
 
 

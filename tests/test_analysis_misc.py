@@ -5,13 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.histograms import Histogram, cumulative_histogram, skew_histograms, tail_fraction
-from repro.analysis.locality import (
-    excluded_nodes,
-    exclusion_mask,
-    inclusion_mask,
-    skew_vs_distance,
-)
+from repro.analysis.histograms import cumulative_histogram, skew_histograms, tail_fraction
+from repro.analysis.locality import excluded_nodes, exclusion_mask, inclusion_mask, skew_vs_distance
 from repro.analysis.traces import layer_series, load_trace, save_trace, wave_rows
 from repro.core.pulse_solver import solve_single_pulse
 from repro.faults.models import FaultModel, NodeFault
@@ -127,7 +122,6 @@ class TestLocality:
 
     def test_skew_vs_distance_profile_decays(self, medium_grid, timing, rng):
         """Fault effects should be strongest near the fault (fault locality)."""
-        from repro.core.topology import Direction
         from repro.faults.models import LinkBehavior
 
         fault = (5, 4)

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.campaign.runner import CampaignRunner, execute_task
 from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.cli import main
 from repro.clocksource.scenarios import scenario_layer0_times
 from repro.core.parameters import TimingConfig
 from repro.core.topology import HexGrid
@@ -24,7 +25,6 @@ from repro.engines import (
 from repro.faults.placement import build_fault_model
 from repro.simulation.links import UniformRandomDelays
 from repro.simulation.runner import simulate_multi_pulse, simulate_single_pulse
-from repro.cli import main
 
 
 @pytest.fixture

@@ -13,7 +13,6 @@ import pytest
 
 from repro.clocksource.scenarios import SCENARIOS, Scenario
 from repro.experiments import EXPERIMENTS, load_experiment
-from repro.experiments.config import ExperimentConfig
 from repro.experiments import (
     clocktree_comparison,
     fig05,
@@ -32,6 +31,7 @@ from repro.experiments import (
     table3,
     theorem1,
 )
+from repro.experiments.config import ExperimentConfig
 from repro.faults.models import FaultType
 
 

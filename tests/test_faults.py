@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -43,7 +41,6 @@ class TestNodeFault:
             )
 
     def test_byzantine_fills_unspecified_links_with_silence(self, small_grid):
-        right = small_grid.neighbor((3, 2), direction=next(iter(small_grid.out_neighbors((3, 2)))))
         destination = list(small_grid.out_neighbors((3, 2)).values())[0]
         fault = NodeFault.byzantine(
             small_grid, (3, 2), behaviors={destination: LinkBehavior.CONSTANT_ONE}
@@ -92,7 +89,6 @@ class TestFaultModel:
 
     def test_link_behavior_for_crash_depends_on_time(self, small_grid):
         model = FaultModel(small_grid, [NodeFault.crash(small_grid, (2, 1), crash_time=50.0)])
-        link = ((2, 1), small_grid.neighbor((2, 1), list(small_grid.out_neighbors((2, 1)))[0]))
         destination = list(small_grid.out_neighbors((2, 1)).values())[0]
         assert model.link_behavior(((2, 1), destination), time=10.0) is LinkBehavior.CORRECT
         assert model.link_behavior(((2, 1), destination), time=60.0) is LinkBehavior.CONSTANT_ZERO

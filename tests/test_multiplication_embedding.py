@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -117,7 +115,7 @@ class TestPlanarEmbedding:
         embedding = FlattenedEmbedding(medium_grid)
         pairs = embedding.closest_cross_half_pairs(top_k=3)
         assert len(pairs) == 3
-        for front, back, distance, hops in pairs:
+        for _front, _back, distance, hops in pairs:
             assert distance <= 1.0
             assert hops >= 1
         # The interesting case: some physically adjacent pair is >= 2 grid hops apart.

@@ -2,22 +2,15 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
 from repro.clocksource.generator import PulseScheduleConfig, generate_pulse_schedule
-from repro.core.parameters import condition2_timeouts
 from repro.core.topology import Direction, HexGrid
-from repro.faults.models import FaultModel, FaultType, LinkBehavior, NodeFault
+from repro.faults.models import FaultModel, LinkBehavior, NodeFault
 from repro.simulation.links import ConstantDelays, UniformRandomDelays
 from repro.simulation.network import HexNetwork, TimerPolicy
-from repro.simulation.runner import (
-    default_timeouts,
-    simulate_multi_pulse,
-    simulate_single_pulse,
-)
+from repro.simulation.runner import default_timeouts, simulate_multi_pulse, simulate_single_pulse
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.core.bounds import lemma4_intra_layer_bound, skew_potential, theorem1_uniform_bound
 from repro.core.parameters import TimingConfig, condition2_timeouts, lambda0
 from repro.core.pulse_solver import solve_single_pulse
-from repro.core.topology import Direction, HexGrid
+from repro.core.topology import HexGrid
 from repro.faults.models import FaultModel, NodeFault
 from repro.faults.placement import check_condition1, place_faults
 from repro.simulation.links import UniformRandomDelays

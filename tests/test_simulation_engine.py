@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.parameters import TimingConfig
 from repro.core.topology import HexGrid
 from repro.simulation.engine import EventQueue
 from repro.simulation.links import (

@@ -7,9 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.skew import intra_layer_skews, inter_layer_skews
+from repro.analysis.skew import inter_layer_skews, intra_layer_skews
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec, RunTask, SweepSpec
+from repro.cli import main
 from repro.core.parameters import TimingConfig
 from repro.core.topology import Direction, HexGrid
 from repro.engines import RunSpec, get_engine
@@ -31,7 +32,6 @@ from repro.topologies import (
     unregister_topology,
     validate_topology,
 )
-from repro.cli import main
 
 
 # ----------------------------------------------------------------------

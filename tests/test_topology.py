@@ -5,7 +5,7 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro.core.topology import Direction, HexGrid, TRIGGER_GUARDS
+from repro.core.topology import TRIGGER_GUARDS, Direction, HexGrid
 
 
 class TestConstruction:

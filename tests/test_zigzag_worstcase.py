@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.parameters import TimingConfig
 from repro.core.pulse_solver import solve_single_pulse
 from repro.core.topology import HexGrid
 from repro.core.worstcase import fig17_single_byzantine_worst_case, fig5_worst_case_wave

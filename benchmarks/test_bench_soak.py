@@ -1,0 +1,12 @@
+"""Benchmark: sustained soak throughput and streaming-accumulator overhead.
+
+Thin wrapper: the workloads, repeat counts, quick-mode shrink and the GK
+rank-error recheck live in the ``soak`` suite of :mod:`repro.bench.suites`.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_case_test
+
+test_bench_soak_sustained_pulses = bench_case_test("soak", "sustained_pulses")
+test_bench_soak_accumulator_overhead = bench_case_test("soak", "accumulator_overhead")

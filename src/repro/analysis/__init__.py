@@ -10,6 +10,8 @@
   (Figs. 15, 16) and fault-locality metrics.
 * :mod:`repro.analysis.stabilization` -- pulse assignment and stabilization-time
   estimation for multi-pulse runs (Figs. 18, 19).
+* :mod:`repro.analysis.streaming` -- post-hoc mirrors of the streaming soak
+  telemetry, for streaming-vs-exact equivalence tests.
 """
 
 from repro.analysis.histograms import cumulative_histogram, skew_histograms
@@ -23,6 +25,7 @@ from repro.analysis.skew import (
     per_layer_intra_stats,
 )
 from repro.analysis.stabilization import PulseAssignment, assign_pulses, stabilization_time
+from repro.analysis.streaming import pulse_skew_series
 from repro.analysis.traces import (
     event_trace_times,
     layer_series,
@@ -47,6 +50,7 @@ __all__ = [
     "PulseAssignment",
     "assign_pulses",
     "stabilization_time",
+    "pulse_skew_series",
     "wave_rows",
     "layer_series",
     "save_trace",

@@ -19,7 +19,10 @@ historical ``benchmarks/test_bench_*.py`` files onto declarative
   execution on a same-grid sweep (the batching speedup gate);
 * :mod:`~repro.bench.suites.obs` -- observability overhead: the disabled
   no-op guards, the campaign runner's <5% orchestration bar and the
-  fully-instrumented slowdown (with its bit-identity check).
+  fully-instrumented slowdown (with its bit-identity check);
+* :mod:`~repro.bench.suites.soak` -- sustained soak-run throughput and the
+  per-observation cost of the streaming accumulators (with the GK sketch's
+  rank-error bound re-checked against the exact sorted stream).
 """
 
 from repro.bench.suites import (  # noqa: F401  (import-for-side-effect)
@@ -28,6 +31,7 @@ from repro.bench.suites import (  # noqa: F401  (import-for-side-effect)
     clocktree,
     des,
     obs,
+    soak,
     solver,
     topology,
 )

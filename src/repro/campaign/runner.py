@@ -49,6 +49,7 @@ from repro.clocksource.scenarios import parse_scenario
 from repro.core.bounds import stable_skew_choice
 from repro.engines import Engine, get_engine
 from repro.engines.des import scenario_layer0_spread
+from repro.stream import StreamingMoments, StreamingQuantiles
 
 __all__ = ["execute_task", "execute_task_batch", "CampaignResult", "CampaignRunner"]
 
@@ -258,15 +259,24 @@ class CampaignResult:
             for record in self.records
             if record.wall_time_s and math.isfinite(record.wall_time_s)
         )
-        total = float(sum(times))
+        # One quantile/moment implementation for campaigns and soak runs
+        # (repro.stream).  exact_cap=None keeps the accumulator exact, so
+        # total/median/p95 stay bit-identical to the historical
+        # float(sum(...)) / np.median / np.percentile(..., 95) spellings.
+        moments = StreamingMoments()
+        quantiles = StreamingQuantiles(exact_cap=None)
+        for value in times:
+            moments.add(value)
+            quantiles.add(value)
+        total = moments.total
         summary = {
             "tasks": float(len(self.records)),
             "executed": float(self.executed),
             "cached": float(self.cached),
             "task_total_s": total,
             "task_mean_s": total / len(times) if times else 0.0,
-            "task_median_s": float(np.median(times)) if times else 0.0,
-            "task_p95_s": float(np.percentile(times, 95)) if times else 0.0,
+            "task_median_s": quantiles.median() if times else 0.0,
+            "task_p95_s": quantiles.quantile(0.95) if times else 0.0,
             "tasks_per_s": (
                 self.executed / self.wall_time_s if self.wall_time_s > 0 else 0.0
             ),

@@ -70,6 +70,7 @@ def _build_omission_manifests() -> List[OmissionManifest]:
     from repro.adversary.schedule import FaultSchedule
     from repro.campaign.spec import CampaignSpec, RunTask, SweepSpec
     from repro.engines.base import RunSpec
+    from repro.experiments.soak import SoakSpec
 
     def default_task() -> RunTask:
         campaign = CampaignSpec(
@@ -130,6 +131,16 @@ def _build_omission_manifests() -> List[OmissionManifest]:
                 "initial_states": lambda: task_with(
                     kind="multi_pulse", num_pulses=2, initial_states="clean"
                 ),
+            },
+        ),
+        OmissionManifest(
+            name="SoakSpec",
+            anchor="experiments/soak.py",
+            build_default=SoakSpec,
+            omitted=("fault_type", "initial_states"),
+            probes={
+                "fault_type": lambda: SoakSpec(fault_type="fail_silent"),
+                "initial_states": lambda: SoakSpec(initial_states="clean"),
             },
         ),
     ]
@@ -212,6 +223,45 @@ def _build_golden_specs() -> Dict[str, Tuple[Callable[[], str], str]]:
     from repro.adversary.schedule import FaultSchedule
     from repro.campaign.spec import CampaignSpec, SweepSpec
     from repro.engines.base import RunSpec, content_key
+    from repro.experiments.soak import SoakCheckpoint, SoakSpec
+    from repro.stream import StreamSummary
+
+    def soak_variant() -> SoakSpec:
+        return SoakSpec(
+            layers=4,
+            width=5,
+            num_pulses=100,
+            pulses_per_epoch=25,
+            faults=1,
+            fault_type="fail_silent",
+            heal_fraction=0.5,
+            epsilon=0.01,
+            exact_cap=16,
+            seed=7,
+            initial_states="clean",
+        )
+
+    def soak_checkpoint_key() -> str:
+        # A fully-deterministic checkpoint (no simulation, fixed streams);
+        # pins the accumulator serialization and the state_key contract.
+        skew = StreamSummary(epsilon=0.01, exact_cap=4)
+        skew.extend([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        skew.flush()
+        recovery = StreamSummary(epsilon=0.01, exact_cap=4)
+        recovery.extend([10.0, 20.0])
+        return SoakCheckpoint(
+            spec=soak_variant(),
+            epochs_completed=2,
+            pulses_completed=50,
+            faults_injected=2,
+            faults_healed=2,
+            recoveries=2,
+            skew=skew,
+            recovery_s=recovery,
+            pulses_per_s=123.0,
+            rss_bytes=456,
+            wall_time_s=7.5,
+        ).state_key()
 
     def sweep() -> SweepSpec:
         return SweepSpec(
@@ -262,6 +312,18 @@ def _build_golden_specs() -> Dict[str, Tuple[Callable[[], str], str]]:
         "fault-schedule-burst": (
             lambda: FaultSchedule.burst(time=5.0, count=2).key(),
             "13301e508aec9a1d9dfd226ca119e961",
+        ),
+        "soakspec-default": (
+            lambda: SoakSpec().key(),
+            "e4a86ddc1cdcfa60e9beaf1a171a2dcb",
+        ),
+        "soakspec-variant": (
+            lambda: soak_variant().key(),
+            "175e84bbaaa9f9a523663024a2794bc7",
+        ),
+        "soak-checkpoint": (
+            soak_checkpoint_key,
+            "c4e3a2c2a174d7d54159f0406d329dad",
         ),
     }
 
@@ -317,7 +379,8 @@ def golden_key_findings(
     doc=(
         "Defaulted spec fields (RunSpec topology/fault_schedule/initial_states; "
         "SweepSpec and RunTask delay_model/fault_schedule/topology/"
-        "initial_states) must be omitted from canonical JSON at their default "
+        "initial_states; SoakSpec fault_type/initial_states) must be omitted "
+        "from canonical JSON at their default "
         "and present otherwise, so adding a defaulted field never renames "
         "existing records.  Not waivable: key migrations edit the manifest in "
         "repro.checks.contentkeys instead."
@@ -333,7 +396,8 @@ def check_default_omission(context: CheckContext) -> Iterator[Finding]:
     severity="error",
     doc=(
         "Content keys of a pinned spec corpus (RunSpec default/variant/burst, "
-        "SweepSpec, CampaignSpec, RunTask, FaultSchedule.burst) must match "
+        "SweepSpec, CampaignSpec, RunTask, FaultSchedule.burst, SoakSpec "
+        "default/variant and a SoakCheckpoint state key) must match "
         "their golden values byte-for-byte; any canonical-JSON or hashing "
         "change shows up as a key diff.  Not waivable: deliberate migrations "
         "update the corpus in repro.checks.contentkeys."

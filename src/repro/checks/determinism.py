@@ -64,6 +64,7 @@ WALL_CLOCK_ALLOWED_PREFIXES = (
     "bench",
     "campaign.progress",
     "campaign.runner",  # per-record wall_time_s telemetry only
+    "experiments.soak",  # pulses/sec throughput + RSS telemetry only
 )
 
 #: Modules whose inner loops carry accumulated float arithmetic; exact

@@ -9,10 +9,13 @@ The architecture contract (see DESIGN.md "Layering"):
   the only execution surface;
 * ``campaign``, ``experiments`` and ``bench`` build on ``engines``;
 * ``cli`` (and the root facade) sit on top and may import anything;
-* ``obs`` is a standalone leaf importable only from approved layers
-  (``engines``, ``campaign``, ``bench``, ``cli``) -- the simulation core and
-  ``analysis`` must stay observable-free so enabling instrumentation can
+* ``obs`` is a leaf importable only from approved layers (``engines``,
+  ``campaign``, ``experiments``, ``bench``, ``cli``) -- the simulation core
+  and ``analysis`` must stay observable-free so enabling instrumentation can
   never change results;
+* ``stream`` (bounded-memory accumulators) is a dependency-free leaf below
+  even ``obs``: ``analysis``, ``obs``, ``campaign``, ``experiments`` and
+  ``bench`` may import it without cycles;
 * ``checks.schemas`` (the artifact-schema registry) is a dependency-free
   foundation leaf importable from anywhere; the rest of ``checks`` is a
   top-layer tool.
@@ -50,10 +53,12 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "simulation": frozenset({"core", "faults"}),
     # -- adversary value objects (consumed by engines and campaigns) ----
     "adversary": frozenset({"core", "faults", "simulation", "topologies"}),
+    # -- streaming accumulators are a dependency-free leaf --------------
+    "stream": frozenset(),
     # -- analysis stays obs-free (lazy artifact loaders are waived) -----
-    "analysis": frozenset({"core", "faults", "simulation", "topologies"}),
-    # -- observability is a standalone leaf -----------------------------
-    "obs": frozenset(),
+    "analysis": frozenset({"core", "faults", "simulation", "stream", "topologies"}),
+    # -- observability sits on the stream leaf only ---------------------
+    "obs": frozenset({"stream"}),
     # -- execution layer ------------------------------------------------
     "engines": frozenset(
         {
@@ -78,6 +83,7 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
             "faults",
             "obs",
             "simulation",
+            "stream",
             "topologies",
         }
     ),
@@ -91,7 +97,9 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
             "core",
             "engines",
             "faults",
+            "obs",
             "simulation",
+            "stream",
             "topologies",
         }
     ),
@@ -105,6 +113,7 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
             "experiments",
             "faults",
             "obs",
+            "stream",
             "topologies",
         }
     ),

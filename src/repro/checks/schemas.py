@@ -48,6 +48,8 @@ SCHEMAS: Dict[str, str] = {
     "bench": "hex-repro/bench/v1",
     # `hex-repro check --json` findings documents (repro.checks)
     "check-findings": "hex-repro/check-findings/v1",
+    # resumable soak-run checkpoints (repro.experiments.soak)
+    "soak": "hex-repro/soak/v1",
 }
 
 

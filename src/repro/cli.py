@@ -30,10 +30,14 @@ Subcommands
     against committed baselines (``--compare`` / ``--tolerance``); the
     regression gate's exit codes are 0 (pass), 1 (regression) and 3
     (missing/incomparable baseline).
+``soak [...]``
+    Long-horizon streaming soak run (``repro.experiments.soak``): millions
+    of pulses under continuous per-epoch fault churn, with bounded-memory
+    streaming telemetry and resumable ``hex-repro/soak/v1`` checkpoints.
 ``trace summarize <file>``
     Summarize an observability artifact -- a ``hex-repro/trace/v1`` JSONL
-    trace or a ``hex-repro/metrics/v1`` snapshot -- written by
-    ``sweep``/``run``/``simulate`` with ``--trace`` / ``--metrics-out``.
+    trace, a ``hex-repro/metrics/v1`` snapshot or a ``hex-repro/soak/v1``
+    checkpoint -- written with ``--trace`` / ``--metrics-out`` / ``--store``.
 
 Observability (``repro.obs``) is off by default; ``--trace FILE`` records
 nested spans (plus per-event DES capture with ``--trace-events``) and
@@ -74,6 +78,10 @@ Examples
     hex-repro simulate --engine des --runs 2 --trace run.jsonl --trace-events
     hex-repro trace summarize sweep-trace.jsonl
     hex-repro trace summarize sweep-metrics.json --json
+    hex-repro trace summarize sweep-trace.jsonl --top 5
+    hex-repro soak --quick --store soak-artifacts
+    hex-repro soak --layers 10 --width 6 --pulses 1000000 --store soak-artifacts --resume
+    hex-repro trace summarize soak-artifacts/soak-<key>.json
 """
 
 from __future__ import annotations
@@ -368,6 +376,95 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--json", action="store_true", help="machine-readable summary output"
     )
+    trace_parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N span names with the largest total time "
+        "(trace summaries only)",
+    )
+
+    soak_parser = subparsers.add_parser(
+        "soak",
+        help="long-horizon streaming soak run: bounded-memory telemetry under "
+        "continuous fault churn",
+    )
+    soak_parser.add_argument(
+        "--layers", type=int, default=10, help="grid length L (default: 10)"
+    )
+    soak_parser.add_argument(
+        "--width", type=int, default=6, help="grid width W (default: 6)"
+    )
+    soak_parser.add_argument(
+        "--pulses",
+        type=int,
+        default=1_000_000,
+        help="total pulses to soak through (default: 1000000)",
+    )
+    soak_parser.add_argument(
+        "--pulses-per-epoch",
+        type=int,
+        default=512,
+        help="pulses per epoch; bounds peak memory (default: 512)",
+    )
+    soak_parser.add_argument(
+        "--faults",
+        type=int,
+        default=2,
+        help="faults injected (and healed) per epoch; 0 disables churn",
+    )
+    soak_parser.add_argument(
+        "--fault-type",
+        choices=tuple(ft.value for ft in (FaultType.BYZANTINE, FaultType.FAIL_SILENT)),
+        default=FaultType.BYZANTINE.value,
+        help="fault type of the per-epoch burst",
+    )
+    soak_parser.add_argument(
+        "--heal-fraction",
+        type=float,
+        default=0.6,
+        help="epoch-span fraction at which the burst heals (default: 0.6)",
+    )
+    soak_parser.add_argument("--seed", type=int, default=2013, help="base seed")
+    soak_parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.005,
+        help="quantile-sketch rank-error bound (default: 0.005)",
+    )
+    soak_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized preset: 10000 pulses on a 5x4 grid, 1 fault per epoch "
+        "(explicit flags still win)",
+    )
+    soak_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory (hex-repro/soak/v1 artifacts; no "
+        "checkpoints without it)",
+    )
+    soak_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the spec's checkpoint in --store when one exists",
+    )
+    soak_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="EPOCHS",
+        help="checkpoint period in epochs (default: a quarter of the run)",
+    )
+    soak_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-epoch progress lines"
+    )
+    soak_parser.add_argument(
+        "--json", action="store_true", help="machine-readable result output"
+    )
+    _add_observability_flags(soak_parser)
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
@@ -953,7 +1050,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.json:
         print(summary_to_json(summary))
     else:
-        print(render_summary(summary))
+        print(render_summary(summary, top=args.top))
+    return 0
+
+
+#: The ``soak --quick`` preset, applied only to flags still at their
+#: argparse defaults (an explicit flag always wins, mirroring the
+#: ``--spec``-exclusivity convention of ``sweep``).
+_SOAK_QUICK_PRESET = {
+    "layers": (10, 5),
+    "width": (6, 4),
+    "pulses": (1_000_000, 10_000),
+    "pulses_per_epoch": (512, 500),
+    "faults": (2, 1),
+}
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.experiments.soak import SoakSpec, run_soak
+
+    if args.quick:
+        for attr, (default, quick_value) in _SOAK_QUICK_PRESET.items():
+            if getattr(args, attr) == default:
+                setattr(args, attr, quick_value)
+    spec = SoakSpec(
+        layers=args.layers,
+        width=args.width,
+        num_pulses=args.pulses,
+        pulses_per_epoch=args.pulses_per_epoch,
+        faults=args.faults,
+        fault_type=args.fault_type,
+        heal_fraction=args.heal_fraction,
+        epsilon=args.epsilon,
+        seed=args.seed,
+    )
+
+    def progress(stats) -> None:
+        print(
+            f"  epoch {int(stats['epoch'])}/{int(stats['epochs'])}: "
+            f"{int(stats['pulses'])} pulses, {stats['pulses_per_s']:.0f}/s, "
+            f"skew p50 {stats['skew_p50']:.3g} p95 {stats['skew_p95']:.3g}, "
+            f"{int(stats['recoveries'])} recoveries, "
+            f"rss {stats['rss_bytes'] / 1e6:.0f}MB",
+            flush=True,
+        )
+
+    with _observability(args):
+        result = run_soak(
+            spec,
+            store=args.store,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            progress=None if (args.quiet or args.json) else progress,
+        )
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print("\n".join(result.render()))
     return 0
 
 
@@ -1012,6 +1165,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "soak":
+            return _cmd_soak(args)
         if args.command == "trace":
             return _cmd_trace(args)
     except (ValueError, FileNotFoundError) as error:

@@ -251,8 +251,15 @@ class DesEngine:
         timeouts: Optional[TimeoutConfig] = None,
         timer_policy: TimerPolicy = TimerPolicy.UNIFORM,
         adversary: Optional[ScheduledAdversary] = None,
+        observer: Optional[object] = None,
     ) -> RunResult:
-        """Propagate one pulse wave through the full state machines."""
+        """Propagate one pulse wave through the full state machines.
+
+        ``observer`` replaces the default :func:`repro.obs.des_observer` hook
+        with a caller-supplied network observer (duck-typed ``on_event`` /
+        ``on_firing`` / ``on_adversary``); the caller then owns whatever the
+        observer accumulated -- nothing is recorded into ``repro.obs``.
+        """
         layer0 = validate_layer0(grid, layer0_times)
         if delays is None:
             delays = UniformRandomDelays(timing, rng)
@@ -271,7 +278,8 @@ class DesEngine:
             rng=rng,
             timer_policy=timer_policy,
         )
-        network.observer = obs.des_observer()
+        custom_observer = observer is not None
+        network.observer = observer if custom_observer else obs.des_observer()
         network.initialize()
         if adversary is not None:
             adversary.install(network)
@@ -295,7 +303,7 @@ class DesEngine:
                 + timeouts.t_sleep_max,
             )
         network.run(until=horizon)
-        if network.observer is not None:
+        if network.observer is not None and not custom_observer:
             obs.record_des_observer(
                 network.observer,
                 events_scheduled=network.queue.num_scheduled,
@@ -361,6 +369,8 @@ class DesEngine:
         run_slack: float = 0.0,
         adversary: Optional[ScheduledAdversary] = None,
         initial_states: Optional[str] = None,
+        observer: Optional[object] = None,
+        collect_firings: bool = True,
     ) -> RunResult:
         """Run the simulator over a whole schedule of layer-0 pulses.
 
@@ -368,6 +378,13 @@ class DesEngine:
         overrides the legacy ``random_initial_states`` flag when given;
         ``adversary`` installs a materialized fault schedule whose timed
         actions mutate the fault model mid-run.
+
+        ``observer`` replaces the default :func:`repro.obs.des_observer` hook
+        with a caller-supplied network observer (duck-typed ``on_event`` /
+        ``on_firing`` / ``on_adversary``) that sees every firing as it
+        happens; ``collect_firings=False`` additionally skips building the
+        per-node ``firing_times`` dict on the result, so long soak epochs
+        whose observer already consumed the stream keep memory bounded.
         """
         schedule = np.atleast_2d(np.asarray(source_schedule, dtype=float))
         if schedule.shape[1] != grid.width:
@@ -391,7 +408,8 @@ class DesEngine:
             rng=rng,
             timer_policy=timer_policy,
         )
-        network.observer = obs.des_observer()
+        custom_observer = observer is not None
+        network.observer = observer if custom_observer else obs.des_observer()
         network.initialize()
         if adversary is not None:
             adversary.install(network)
@@ -418,7 +436,7 @@ class DesEngine:
                 + run_slack,
             )
         network.run(until=horizon)
-        if network.observer is not None:
+        if network.observer is not None and not custom_observer:
             obs.record_des_observer(
                 network.observer,
                 events_scheduled=network.queue.num_scheduled,
@@ -427,10 +445,11 @@ class DesEngine:
 
         final_model = self._final_fault_model(network, fault_model, adversary)
         firing_times: Dict[NodeId, List[float]] = {}
-        for node in grid.nodes():
-            if final_model is not None and final_model.is_faulty(node):
-                continue
-            firing_times[node] = network.firing_times(node)
+        if collect_firings:
+            for node in grid.nodes():
+                if final_model is not None and final_model.is_faulty(node):
+                    continue
+                firing_times[node] = network.firing_times(node)
 
         result = RunResult(
             engine=self.name,

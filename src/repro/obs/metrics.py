@@ -24,12 +24,12 @@ human-readable report.
 from __future__ import annotations
 
 import json
-import math
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.checks.schemas import schema
+from repro.stream.quantiles import interpolated_quantile
 
 __all__ = [
     "METRICS_SCHEMA",
@@ -61,22 +61,9 @@ def timer_stats(values: List[float], count: int, total: float) -> Dict[str, floa
         ordered = sorted(values)
         stats["min_s"] = float(ordered[0])
         stats["max_s"] = float(ordered[-1])
-        stats["median_s"] = float(_quantile(ordered, 0.5))
-        stats["p95_s"] = float(_quantile(ordered, 0.95))
+        stats["median_s"] = float(interpolated_quantile(ordered, 0.5))
+        stats["p95_s"] = float(interpolated_quantile(ordered, 0.95))
     return stats
-
-
-def _quantile(ordered: List[float], q: float) -> float:
-    """Linear-interpolation quantile of an already-sorted list."""
-    if not ordered:
-        return math.nan
-    if len(ordered) == 1:
-        return ordered[0]
-    position = q * (len(ordered) - 1)
-    low = int(math.floor(position))
-    high = min(low + 1, len(ordered) - 1)
-    fraction = position - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 class _TimerHandle:

@@ -1,33 +1,38 @@
-"""Offline summarization of trace and metrics artifacts.
+"""Offline summarization of trace, metrics and soak artifacts.
 
 Backs the ``hex-repro trace summarize <file>`` verb: given a path, sniff
-whether it is a ``hex-repro/metrics/v1`` JSON snapshot or a
-``hex-repro/trace/v1`` JSONL trace, aggregate it, and render a short
-human-readable report (or a JSON document with ``--json``).
+whether it is a ``hex-repro/metrics/v1`` JSON snapshot, a
+``hex-repro/trace/v1`` JSONL trace or a ``hex-repro/soak/v1`` checkpoint,
+aggregate it, and render a short human-readable report (or a JSON document
+with ``--json``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
+from repro.checks.schemas import schema
 from repro.obs.metrics import METRICS_SCHEMA, load_metrics, timer_stats
 from repro.obs.trace import TRACE_SCHEMA, load_trace_records
+from repro.stream import StreamSummary
 
 __all__ = ["summarize_file", "render_summary"]
 
+_SOAK_SCHEMA = schema("soak")
+
 
 def summarize_file(path: Union[str, Path]) -> Dict[str, Any]:
-    """Summarize a metrics snapshot or a trace file into one JSON-ready dict.
+    """Summarize a metrics/trace/soak artifact into one JSON-ready dict.
 
-    The result always carries ``"file"`` and ``"format"`` (``"metrics"`` or
-    ``"trace"``) keys.
+    The result always carries ``"file"`` and ``"format"`` (``"metrics"``,
+    ``"trace"`` or ``"soak"``) keys.
 
     Raises
     ------
     ValueError
-        If the file is neither a metrics snapshot nor a trace file.
+        If the file is not one of the recognized artifact formats.
     FileNotFoundError
         If the file does not exist.
     """
@@ -41,10 +46,44 @@ def summarize_file(path: Union[str, Path]) -> Dict[str, Any]:
         return _summarize_trace(path)
     if METRICS_SCHEMA in head:
         return _summarize_metrics(path)
+    if _SOAK_SCHEMA in head:
+        return _summarize_soak(path)
+    # Canonical JSON sorts keys, so a soak checkpoint with large sketch
+    # states may carry its "schema" key beyond the sniffed head -- fall back
+    # to parsing the whole document once before giving up.
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        payload = None
+    if isinstance(payload, dict) and payload.get("schema") == _SOAK_SCHEMA:
+        return _summarize_soak(path, payload=payload)
     raise ValueError(
-        f"{path}: unrecognized artifact (expected a {METRICS_SCHEMA!r} snapshot "
-        f"or a {TRACE_SCHEMA!r} trace)"
+        f"{path}: unrecognized artifact (expected a {METRICS_SCHEMA!r} snapshot, "
+        f"a {TRACE_SCHEMA!r} trace or a {_SOAK_SCHEMA!r} checkpoint)"
     )
+
+
+def _summarize_soak(path: Path, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    if payload is None:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    skew = StreamSummary.from_json_dict(payload["skew"]).stats()
+    recovery = StreamSummary.from_json_dict(payload["recovery_s"]).stats()
+    return {
+        "file": str(path),
+        "format": "soak",
+        "schema": payload["schema"],
+        "spec": payload.get("spec", {}),
+        "epochs_completed": int(payload.get("epochs_completed", 0)),
+        "pulses_completed": int(payload.get("pulses_completed", 0)),
+        "faults_injected": int(payload.get("faults_injected", 0)),
+        "faults_healed": int(payload.get("faults_healed", 0)),
+        "recoveries": int(payload.get("recoveries", 0)),
+        "pulses_per_s": float(payload.get("pulses_per_s", 0.0)),
+        "rss_bytes": int(payload.get("rss_bytes", 0)),
+        "wall_time_s": float(payload.get("wall_time_s", 0.0)),
+        "skew": skew,
+        "recovery_s": recovery,
+    }
 
 
 def _summarize_metrics(path: Path) -> Dict[str, Any]:
@@ -103,9 +142,46 @@ def _summarize_trace(path: Path) -> Dict[str, Any]:
     }
 
 
-def render_summary(summary: Dict[str, Any]) -> str:
-    """Format a :func:`summarize_file` result as a human-readable report."""
+def render_summary(summary: Dict[str, Any], top: Optional[int] = None) -> str:
+    """Format a :func:`summarize_file` result as a human-readable report.
+
+    ``top`` truncates the per-name span table of trace summaries to the
+    ``top`` names with the largest total time (the rest are folded into one
+    "... and K more" line); metrics and soak reports ignore it.
+    """
     lines: List[str] = []
+    if summary["format"] == "soak":
+        spec = summary["spec"]
+        lines.append(f"soak checkpoint {summary['file']} ({summary['schema']})")
+        lines.append(
+            f"  grid {spec.get('layers', '?')}x{spec.get('width', '?')}, "
+            f"seed {spec.get('seed', '?')}: "
+            f"{summary['pulses_completed']} pulses over "
+            f"{summary['epochs_completed']} epochs"
+        )
+        lines.append(
+            f"  throughput {summary['pulses_per_s']:.0f} pulses/s, "
+            f"wall {summary['wall_time_s']:.1f}s, "
+            f"rss {summary['rss_bytes'] / 1e6:.1f}MB"
+        )
+        lines.append(
+            f"  faults: {summary['faults_injected']} injected, "
+            f"{summary['faults_healed']} healed, "
+            f"{summary['recoveries']} recoveries"
+        )
+        skew = summary["skew"]
+        lines.append(
+            f"  skew ({int(skew['count'])} pulses): mean {skew['mean']:.4g}  "
+            f"p50 {skew['p50']:.4g}  p95 {skew['p95']:.4g}  max {skew['max']:.4g}"
+        )
+        recovery = summary["recovery_s"]
+        if recovery["count"]:
+            lines.append(
+                f"  recovery ({int(recovery['count'])} heals): "
+                f"mean {recovery['mean']:.4g}  p50 {recovery['p50']:.4g}  "
+                f"p95 {recovery['p95']:.4g}  max {recovery['max']:.4g}"
+            )
+        return "\n".join(lines)
     if summary["format"] == "metrics":
         lines.append(f"metrics snapshot {summary['file']} ({summary['schema']})")
         counters = summary["counters"]
@@ -138,14 +214,22 @@ def render_summary(summary: Dict[str, Any]) -> str:
             f"top-level time {summary['top_level_time_s']:.4f}s"
         )
         if summary["spans"]:
+            items = list(summary["spans"].items())
+            omitted = 0
+            if top is not None and top >= 0 and len(items) > top:
+                items.sort(key=lambda pair: pair[1].get("total_s", 0.0), reverse=True)
+                omitted = len(items) - top
+                items = items[:top]
             lines.append("  spans by name:")
-            for name, stats in summary["spans"].items():
+            for name, stats in items:
                 lines.append(
                     f"    {name:<40} n={int(stats.get('count', 0))}"
                     f" total={stats.get('total_s', 0.0):.4f}s"
                     f" mean={stats.get('mean_s', 0.0) * 1e3:.3f}ms"
                     f" p95={stats.get('p95_s', 0.0) * 1e3:.3f}ms"
                 )
+            if omitted:
+                lines.append(f"    ... and {omitted} more")
         if summary["events"]:
             lines.append("  events by name:")
             for name, count in summary["events"].items():

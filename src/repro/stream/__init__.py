@@ -1,0 +1,26 @@
+"""Bounded-memory streaming accumulators (``repro.stream``).
+
+The observability substrate for runs that never fit in memory: incremental
+count/mean/variance via Welford's algorithm, exact min/max, and
+epsilon-approximate quantiles via a Greenwald-Khanna sketch with a
+documented worst-case rank-error bound (see
+:class:`~repro.stream.quantiles.GKSketch`).  Everything serializes exactly
+to JSON and back, so soak checkpoints resume without statistical drift.
+
+This package is a dependency-free leaf in the layer DAG (NumPy only):
+``analysis``, ``obs``, ``campaign``, ``experiments`` and ``bench`` may all
+import it without cycles.  It never draws randomness and never reads wall
+clocks -- accumulator state is a pure function of the observation sequence.
+"""
+
+from repro.stream.moments import StreamingMoments
+from repro.stream.quantiles import GKSketch, StreamingQuantiles, interpolated_quantile
+from repro.stream.summary import StreamSummary
+
+__all__ = [
+    "GKSketch",
+    "StreamSummary",
+    "StreamingMoments",
+    "StreamingQuantiles",
+    "interpolated_quantile",
+]

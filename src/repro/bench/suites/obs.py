@@ -14,11 +14,16 @@ Three tracked cases:
 * ``noop_guards`` -- microbenchmark of the disabled ``span``/``inc`` no-op
   guards (nanoseconds per call), so a regression that puts real work on the
   disabled path is visible in isolation.
+* ``worker_fanin`` -- a 2-worker parallel campaign with cross-process
+  observability fully on vs off; the check asserts record bit-identity plus
+  the fan-in products (merged trace, ``worker.*`` counters incl. the
+  deterministic work counters), the info records the instrumented slowdown.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 import time
 from typing import Any, Dict, List
@@ -220,6 +225,107 @@ register_case(
         repeats=3,
         quick_repeats=1,
         info=_info_noop_guards,
+    ),
+    replace=True,
+)
+
+
+def _fanin_spec(settings: BenchSettings) -> CampaignSpec:
+    # Single-cell spec: fork/teardown cost dominates a 2-worker pool, so the
+    # sweep itself stays small and the case measures the fan-in machinery.
+    cell = SweepSpec(
+        layers=(24,),
+        width=12,
+        scenario=("i",),
+        num_faults=0,
+        runs=max(4, settings.effective_runs()),
+        seed_salt=907,
+    )
+    return CampaignSpec(name="bench-obs-fanin", seed=2013, cells=(cell,))
+
+
+def _make_worker_fanin(settings: BenchSettings):
+    spec = _fanin_spec(settings)
+    CampaignRunner(spec, workers=1).run()  # warm grid/plan caches in-process
+
+    def workload() -> Dict[str, Any]:
+        assert not obs.enabled()
+        start = time.perf_counter()
+        off = CampaignRunner(spec, workers=2).run()
+        off_wall = time.perf_counter() - start
+        shard_dir = tempfile.mkdtemp(prefix="hex-obs-fanin-")
+        trace_path = os.path.join(shard_dir, "fanin-trace.jsonl")
+        try:
+            with obs.observed(trace=trace_path) as session:
+                start = time.perf_counter()
+                on = CampaignRunner(spec, workers=2).run()
+                on_wall = time.perf_counter() - start
+                counters = dict(session.registry.snapshot()["counters"])
+            header, _ = obs.load_trace(trace_path)
+        finally:
+            shutil.rmtree(shard_dir, ignore_errors=True)
+        return {
+            "spec": spec,
+            "off": off,
+            "on": on,
+            "off_wall_s": off_wall,
+            "on_wall_s": on_wall,
+            "counters": counters,
+            "merged": bool(header.get("merged")),
+            "num_shards": int(header.get("num_shards", 0)),
+        }
+
+    return workload
+
+
+def _check_worker_fanin(result: Dict[str, Any], settings: BenchSettings) -> None:
+    # Cross-process contract, all deterministic so it gates quick mode too:
+    # records identical either way, worker shards folded into one trace, and
+    # the workers' engine-level counters (incl. the deterministic work
+    # counters) fanned back in under the worker.* provenance prefix.
+    assert [r.canonical_json() for r in result["off"].records] == [
+        r.canonical_json() for r in result["on"].records
+    ]
+    assert result["merged"], "parallel trace was not merged from worker shards"
+    counters = result["counters"]
+    tasks = result["spec"].num_tasks
+    assert counters.get("worker.campaign.tasks_executed") == tasks, (
+        f"expected worker.campaign.tasks_executed == {tasks}, "
+        f"got {counters.get('worker.campaign.tasks_executed')}"
+    )
+    for name in (
+        "worker.solver.heap_pushes",
+        "worker.solver.frontier_advances",
+        "worker.solver.messages_delivered",
+    ):
+        assert counters.get(name, 0) > 0, f"missing merged work counter {name}"
+
+
+def _info_worker_fanin(result: Dict[str, Any], settings: BenchSettings) -> Dict[str, Any]:
+    counters = result["counters"]
+    return {
+        "tasks": result["spec"].num_tasks,
+        "num_shards": result["num_shards"],
+        "off_wall_s": round(result["off_wall_s"], 4),
+        "on_wall_s": round(result["on_wall_s"], 4),
+        "slowdown_factor": round(result["on_wall_s"] / result["off_wall_s"], 3),
+        "worker_heap_pushes": counters.get("worker.solver.heap_pushes", 0),
+        "worker_messages_delivered": counters.get(
+            "worker.solver.messages_delivered", 0
+        ),
+    }
+
+
+register_case(
+    BenchCase(
+        name="worker_fanin",
+        suite=SUITE,
+        make=_make_worker_fanin,
+        repeats=3,
+        quick_repeats=1,
+        check=_check_worker_fanin,
+        quick_check=True,
+        info=_info_worker_fanin,
     ),
     replace=True,
 )

@@ -134,7 +134,8 @@ def execute_task(task: RunTask) -> RunRecord:
     with the list of registered engines before any simulation work starts.
     """
     start = time.perf_counter()
-    with obs.span("campaign.task", engine=task.engine, kind=task.kind):
+    with obs.span("campaign.task", engine=task.engine, kind=task.kind) as task_span:
+        usage = obs.resources.snapshot() if obs.enabled() else None
         engine = get_engine(task.engine)
         if task.kind == "single_pulse":
             record = _execute_single_pulse(task, engine)
@@ -142,6 +143,8 @@ def execute_task(task: RunTask) -> RunRecord:
             record = _execute_multi_pulse(task, engine)
         else:
             raise ValueError(f"unknown task kind {task.kind!r}")
+        if usage is not None:
+            task_span.set(**obs.resources.delta_attrs(usage))
     record.wall_time_s = time.perf_counter() - start
     obs.inc("campaign.tasks_executed")
     return record
@@ -169,7 +172,8 @@ def execute_task_batch(tasks: Sequence[RunTask]) -> List[RunRecord]:
                 f"{engine_name!r} batch"
             )
     start = time.perf_counter()
-    with obs.span("campaign.task_batch", engine=engine_name, size=len(tasks)):
+    with obs.span("campaign.task_batch", engine=engine_name, size=len(tasks)) as batch_span:
+        usage = obs.resources.snapshot() if obs.enabled() else None
         engine = get_engine(engine_name)
         batch_run = getattr(engine, "run_batch", None)
         specs = [task.to_run_spec() for task in tasks]
@@ -180,6 +184,8 @@ def execute_task_batch(tasks: Sequence[RunTask]) -> List[RunRecord]:
         records = [
             _single_pulse_record(task, result) for task, result in zip(tasks, results)
         ]
+        if usage is not None:
+            batch_span.set(**obs.resources.delta_attrs(usage))
     share = (time.perf_counter() - start) / len(tasks)
     for record in records:
         record.wall_time_s = share
@@ -313,6 +319,13 @@ class CampaignRunner:
         module-level :func:`execute_task` hook (which tests monkeypatch).
         Records are persisted as each batch completes, so an interrupt loses
         at most one in-flight batch.
+    mp_start_method:
+        Multiprocessing start method for the worker pool (``"fork"``,
+        ``"spawn"`` or ``"forkserver"``); ``None`` uses the platform default.
+        Records are start-method-independent (each task rebuilds its
+        generator from ``(entropy, run_index)``), so this only affects how
+        workers come up -- it exists so the cross-process observability path
+        can be exercised under the macOS/Windows default (``spawn``) as well.
     """
 
     def __init__(
@@ -323,14 +336,25 @@ class CampaignRunner:
         resume: bool = False,
         progress: Union[bool, ProgressReporter, None] = None,
         batch_size: int = 32,
+        mp_start_method: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if mp_start_method is not None:
+            import multiprocessing
+
+            available = multiprocessing.get_all_start_methods()
+            if mp_start_method not in available:
+                raise ValueError(
+                    f"unknown multiprocessing start method {mp_start_method!r}; "
+                    f"available: {', '.join(available)}"
+                )
         self.spec = spec
         self.workers = workers
         self.batch_size = batch_size
+        self.mp_start_method = mp_start_method
         if store is not None and not isinstance(store, CampaignStore):
             store = CampaignStore(store)
         self.store = store
@@ -417,6 +441,10 @@ class CampaignRunner:
                     "campaign.worker_utilization",
                     summary["task_total_s"] / (self.workers * result.wall_time_s),
                 )
+            # Orchestrator-process resource accounting; worker CPU/RSS arrives
+            # separately through the worker.* metrics fan-in.
+            for name, value in obs.resources.usage_gauges("campaign").items():
+                obs.gauge(name, value)
         return result
 
     def _execute_pending(self, pending: Sequence[Tuple[int, RunTask]]):
@@ -446,15 +474,37 @@ class CampaignRunner:
 
         workers = min(self.workers, len(pending))
         chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
-        # Workers run uninstrumented: fork-started processes inherit the
-        # parent's obs state (incl. the open trace handle) and must drop it.
-        with multiprocessing.Pool(
-            processes=workers, initializer=obs.worker_init
-        ) as pool:
+        # With obs on in the parent, each worker runs its own instrumented
+        # session: fork_context() captures the picklable TraceContext the
+        # initializer needs to open a pid-suffixed trace shard and a fresh
+        # registry (workers must never write through the parent's inherited
+        # trace handle -- worker_init always drops that first).
+        context = obs.fork_context()
+        mp_context = (
+            multiprocessing.get_context(self.mp_start_method)
+            if self.mp_start_method is not None
+            else multiprocessing
+        )
+        # Deliberately NOT `with Pool(...)`: the context manager form calls
+        # terminate(), which kills workers before the Finalize teardown that
+        # flushes their telemetry shards can run.  close()+join() lets every
+        # worker exit cleanly; terminate() remains the error path.
+        pool = mp_context.Pool(
+            processes=workers, initializer=obs.worker_init, initargs=(context,)
+        )
+        try:
             for index, record in pool.imap_unordered(
                 _execute_indexed, pending, chunksize=chunksize
             ):
                 yield index, record
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+        if context is not None:
+            obs.absorb_worker_shards(context, expected=workers)
 
     def _flush_group(self, group: Sequence[Tuple[int, RunTask]]):
         """Execute one pending batch group, yielding ``(index, record)`` pairs."""

@@ -32,6 +32,7 @@ from repro.checks.source import RuleVisitor, SourceModule
 
 __all__ = [
     "NUMPY_LEGACY_GLOBALS",
+    "WALL_CLOCK_ALLOWLIST",
     "WALL_CLOCK_ALLOWED_PREFIXES",
     "HOT_PATH_MODULES",
 ]
@@ -57,15 +58,25 @@ NUMPY_LEGACY_GLOBALS = frozenset(
     }
 )
 
-#: Package-relative module prefixes where wall-clock reads are legitimate:
-#: telemetry and benchmarking measure the host, not the simulation.
-WALL_CLOCK_ALLOWED_PREFIXES = (
-    "obs",
-    "bench",
-    "campaign.progress",
-    "campaign.runner",  # per-record wall_time_s telemetry only
-    "experiments.soak",  # pulses/sec throughput + RSS telemetry only
-)
+#: Package-relative module prefixes where wall-clock (and rusage-adjacent)
+#: reads are legitimate, each with the reason it is on the list: telemetry
+#: and benchmarking measure the host, not the simulation.  Resource
+#: accounting (``resource.getrusage``, GC stats) is deliberately NOT flagged
+#: by D002 anywhere -- it cannot feed back into results -- but
+#: ``obs.resources`` also reads ``/proc`` and anchors CPU-time deltas, so it
+#: is named here explicitly rather than riding on the ``obs`` prefix alone.
+WALL_CLOCK_ALLOWLIST = {
+    "obs": "span timing, trace timelines and metrics timers measure the host",
+    "obs.resources": "per-task CPU time / peak RSS / GC accounting (rusage + /proc); observability output, never simulation input",
+    "bench": "benchmark harness times repetitions by definition",
+    "campaign.progress": "progress/ETA reporting reads the wall clock",
+    "campaign.runner": "per-record wall_time_s telemetry only",
+    "experiments.soak": "pulses/sec throughput + RSS telemetry only",
+}
+
+#: Prefix tuple consumed by the D002 matcher (kept for backward
+#: compatibility with callers that only need the names).
+WALL_CLOCK_ALLOWED_PREFIXES = tuple(WALL_CLOCK_ALLOWLIST)
 
 #: Modules whose inner loops carry accumulated float arithmetic; exact
 #: equality there is a latent boundary bug.

@@ -58,6 +58,9 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     # -- analysis stays obs-free (lazy artifact loaders are waived) -----
     "analysis": frozenset({"core", "faults", "simulation", "stream", "topologies"}),
     # -- observability sits on the stream leaf only ---------------------
+    # (covers every repro.obs submodule, incl. the cross-process layer:
+    # obs.context / obs.merge / obs.resources import nothing outside the
+    # package beyond stream + the checks.schemas foundation leaf)
     "obs": frozenset({"stream"}),
     # -- execution layer ------------------------------------------------
     "engines": frozenset(

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
@@ -89,6 +89,15 @@ class PulseSolution:
     layer0_times:
         The layer-0 firing times the solution was computed from (length ``W``;
         faulty sources carry ``nan``).
+    work:
+        Deterministic work counters of the sweep: ``heap_pushes`` (guards that
+        completed, i.e. candidates the *deduplicating* sweep pushes exactly
+        once each -- the reference sweep's redundant re-pushes are not
+        counted, so the number is identical across both solver paths),
+        ``frontier_advances`` (forwarding nodes finalized) and
+        ``messages_delivered`` (trigger arrivals that landed, including
+        Byzantine stuck-at-1 seeds).  Pure functions of topology, delays and
+        faults -- bit-deterministic across runs, machines and solver paths.
     """
 
     grid: HexGrid
@@ -96,6 +105,7 @@ class PulseSolution:
     guards: np.ndarray
     correct_mask: np.ndarray
     layer0_times: np.ndarray
+    work: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -282,6 +292,22 @@ def solve_single_pulse(
         guards[layer, column] = guard_value
         deliver((layer, column), candidate)
 
+    # Post-hoc work accounting (O(n), outside the sweep -- the hot loop pays
+    # nothing).  Counts the *deduplicated* heap traffic so the number matches
+    # the planned fast path, which skips the re-pushes this sweep performs.
+    messages_delivered = 0
+    heap_pushes = 0
+    for node_arrivals in arrivals.values():
+        messages_delivered += len(node_arrivals)
+        for dir_a, dir_b in TRIGGER_GUARDS:
+            if dir_a in node_arrivals and dir_b in node_arrivals:
+                heap_pushes += 1
+    work = {
+        "heap_pushes": heap_pushes,
+        "frontier_advances": int(finalized[1:, :].sum()),
+        "messages_delivered": messages_delivered,
+    }
+
     layer0_out = trigger_times[0, :].copy()
     return PulseSolution(
         grid=grid,
@@ -289,6 +315,7 @@ def solve_single_pulse(
         guards=guards,
         correct_mask=correct_mask,
         layer0_times=layer0_out,
+        work=work,
     )
 
 
@@ -533,6 +560,29 @@ def solve_single_pulse_planned(
         guard_flat[index] = guard_value
         deliver(index, candidate)
 
+    # Post-hoc work accounting over the flat arrival slots (O(n), outside the
+    # sweep).  A guard counts as one heap push when both of its arrivals
+    # landed -- exactly when this path pushed it -- so the numbers equal the
+    # reference sweep's deduplicated counts bit for bit.
+    messages_delivered = 0
+    heap_pushes = 0
+    for base in range(0, 4 * num_nodes, 4):
+        has_left = arrivals[base] is not None
+        has_lower_left = arrivals[base + 1] is not None
+        has_lower_right = arrivals[base + 2] is not None
+        has_right = arrivals[base + 3] is not None
+        messages_delivered += has_left + has_lower_left + has_lower_right + has_right
+        heap_pushes += (
+            (has_left and has_lower_left)
+            + (has_lower_left and has_lower_right)
+            + (has_lower_right and has_right)
+        )
+    work = {
+        "heap_pushes": heap_pushes,
+        "frontier_advances": sum(finalized) - len(plan.present_sources),
+        "messages_delivered": messages_delivered,
+    }
+
     trigger_times = np.array(trigger_flat, dtype=float).reshape(plan.layers + 1, width)
     guards = np.array(guard_flat, dtype=np.int8).reshape(plan.layers + 1, width)
     presence = grid.presence_mask()
@@ -544,4 +594,5 @@ def solve_single_pulse_planned(
         guards=guards,
         correct_mask=correct_mask,
         layer0_times=trigger_times[0, :].copy(),
+        work=work,
     )

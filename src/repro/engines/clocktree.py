@@ -92,6 +92,11 @@ class ClockTreeEngine:
         )
         element_delays = sample_element_delays(tree, config, rng=generator)
         arrivals = sink_arrival_times(tree, element_delays)
+        if obs.metrics_enabled():
+            # Deterministic work counters: pure functions of the tree topology,
+            # comparable across serial and parallel campaigns.
+            obs.inc("clocktree.elements_sampled", len(element_delays))
+            obs.inc("clocktree.sinks_evaluated", tree.num_sinks)
 
         sink_grid = tree.sink_grid()
         side = 2**levels

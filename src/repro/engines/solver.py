@@ -35,6 +35,21 @@ from repro.simulation.network import TimerPolicy
 __all__ = ["SolverEngine"]
 
 
+def _record_solver_work(solution) -> None:
+    """Record one solution's deterministic work counters (no-op when off).
+
+    ``solver.heap_pushes`` / ``solver.frontier_advances`` /
+    ``solver.messages_delivered`` are pure functions of topology, delays and
+    faults (see :attr:`~repro.core.pulse_solver.PulseSolution.work`), so they
+    diagnose perf regressions independent of wall clock and are identical
+    whether a sweep ran serially or across pool workers.
+    """
+    if not obs.metrics_enabled():
+        return
+    for name, value in solution.work.items():
+        obs.inc(f"solver.{name}", value)
+
+
 class SolverEngine:
     """The paper's single-pulse semantics: the analytic fixed-point solver.
 
@@ -136,6 +151,7 @@ class SolverEngine:
                 )
             else:
                 solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+            _record_solver_work(solution)
             results.append(
                 RunResult(
                     engine=self.name,
@@ -173,6 +189,7 @@ class SolverEngine:
         if delays is None:
             delays = UniformRandomDelays(timing, rng)
         solution = solve_single_pulse(grid, layer0, delays, fault_model=fault_model)
+        _record_solver_work(solution)
         return RunResult(
             engine=self.name,
             kind="single_pulse",

@@ -451,19 +451,7 @@ def load_checkpoint(path: Union[str, Path]) -> SoakCheckpoint:
 
 def _rss_bytes() -> int:
     """Resident set size, best effort (0 when the platform offers nothing)."""
-    try:
-        with open("/proc/self/status", encoding="ascii", errors="replace") as handle:
-            for line in handle:
-                if line.startswith("VmRSS:"):
-                    return int(line.split()[1]) * 1024
-    except (OSError, ValueError, IndexError):
-        pass
-    try:
-        import resource
-
-        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
-    except (ImportError, OSError):
-        return 0
+    return obs.resources.rss_bytes()
 
 
 # ----------------------------------------------------------------------
@@ -668,6 +656,12 @@ def run_soak(
             obs.gauge("soak.skew_p50_s", stats["p50"])
             obs.gauge("soak.skew_p95_s", stats["p95"])
             obs.gauge("soak.skew_max_s", stats["max"])
+            if obs.metrics_enabled():
+                # CPU/GC accounting rides along with the per-epoch gauges so a
+                # long soak's metrics snapshot shows where the process budget
+                # went (leak triage pairs soak.rss_bytes with gc_collections).
+                for name, value in obs.resources.usage_gauges("soak").items():
+                    obs.gauge(name, value)
             if progress is not None:
                 progress(
                     {

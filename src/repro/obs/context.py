@@ -1,0 +1,77 @@
+"""Trace-context propagation into parallel campaign workers.
+
+A :class:`TraceContext` is the picklable capsule the orchestrator hands to
+``multiprocessing.Pool`` workers through the pool initializer.  It carries
+just enough state for each worker to produce telemetry that the parent can
+deterministically fold back in:
+
+* ``trace_id`` / ``parent_span_id`` -- which trace the worker belongs to and
+  which orchestrator span (the ``campaign.run`` span) its task spans hang
+  under after the merge.
+* ``trace_stem`` / ``shard_dir`` -- where the worker writes its own
+  ``hex-repro/trace/v1`` JSONL shard: ``<shard_dir>/<trace_stem>-worker-<pid>.jsonl``.
+* ``origin`` -- the parent tracer's ``time.perf_counter`` anchor, so worker
+  ``start_s`` offsets land on the parent's timeline (``perf_counter`` is
+  ``CLOCK_MONOTONIC`` on Linux: comparable across processes on one machine).
+* ``metrics`` / ``des_events`` -- which instrumentation the parent had on, so
+  workers mirror it.  Worker metrics shards land next to trace shards as
+  ``<trace_stem>-worker-<pid>-metrics.json`` (or, when only metrics are on,
+  under ``shard_dir`` with ``trace_stem`` as a plain grouping stem).
+
+The dataclass contains only primitives so it pickles under both the ``fork``
+and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["TraceContext", "worker_trace_path", "worker_metrics_path",
+           "find_trace_shards", "find_metrics_shards"]
+
+#: Span-id namespace stride per worker: worker span ids start at
+#: ``pid * SPAN_ID_STRIDE + 1`` so shard ids never collide with the parent's
+#: (or each other's) before the merge renumbers them.
+SPAN_ID_STRIDE = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """Picklable trace/metrics context passed to pool workers.
+
+    ``trace_stem`` and ``shard_dir`` are always set (metrics-only runs still
+    need a shard location); ``tracing`` tells workers whether to open a trace
+    shard at all.
+    """
+
+    trace_id: str
+    trace_stem: str
+    shard_dir: str
+    origin: float
+    parent_span_id: Optional[int] = None
+    tracing: bool = False
+    metrics: bool = True
+    des_events: bool = False
+
+
+def worker_trace_path(context: TraceContext, pid: int) -> Path:
+    """Where worker ``pid`` writes its trace shard."""
+    return Path(context.shard_dir) / f"{context.trace_stem}-worker-{pid}.jsonl"
+
+
+def worker_metrics_path(context: TraceContext, pid: int) -> Path:
+    """Where worker ``pid`` writes its raw metrics shard."""
+    return Path(context.shard_dir) / f"{context.trace_stem}-worker-{pid}-metrics.json"
+
+
+def find_trace_shards(trace_path: Path) -> List[Path]:
+    """Trace shards belonging to ``trace_path``, in sorted (deterministic) order."""
+    stem = trace_path.stem
+    return sorted(trace_path.parent.glob(f"{stem}-worker-*.jsonl"))
+
+
+def find_metrics_shards(shard_dir: Path, trace_stem: str) -> List[Path]:
+    """Metrics shards for ``trace_stem``, in sorted (deterministic) order."""
+    return sorted(Path(shard_dir).glob(f"{trace_stem}-worker-*-metrics.json"))

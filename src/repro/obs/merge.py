@@ -1,0 +1,250 @@
+"""Deterministic merge of worker trace shards into one ordered trace.
+
+A parallel campaign with tracing on leaves one orchestrator trace plus one
+``hex-repro/trace/v1`` shard per pool worker
+(``<stem>-worker-<pid>.jsonl``, see :mod:`repro.obs.context`).  This module
+folds the shards back into a single trace file whose layout is a pure
+function of the input files:
+
+1. **Shard order** -- shards merge in sorted filename order (pids sort as
+   strings), so the same shard set always merges identically.
+2. **Re-parenting** -- each shard's root spans (worker-side ``parent_id`` of
+   ``None``) are re-parented under the orchestrator span named in the shard
+   header (``parent_span_id``, the parent's ``campaign.run`` span), and all
+   shard depths shift below that span's depth.
+3. **Id renumbering** -- orchestrator records keep their span ids; shard ids
+   (pid-namespaced pre-merge) are renumbered sequentially after the largest
+   orchestrator id, in shard order.
+4. **Record order** -- the merged body is stably sorted by start time
+   (``start_s`` for spans, ``time_s`` for events), so parents precede their
+   children and interleaved worker activity reads chronologically.
+5. **Provenance** -- every shard record gains a top-level ``worker`` key (the
+   worker pid); the merged header gains ``merged: true``, ``num_shards`` and
+   ``workers``.
+
+Incomplete inputs never merge silently: a missing shard (fewer found than
+``expected_shards``), an unreadable shard, or a shard truncated mid-line
+(worker died before closing its sink) each produce an explicit warning in the
+returned :class:`MergeReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.context import find_trace_shards
+from repro.obs.trace import TRACE_SCHEMA, load_trace
+
+__all__ = ["MergeReport", "merge_trace"]
+
+
+@dataclasses.dataclass
+class MergeReport:
+    """What one :func:`merge_trace` call did."""
+
+    path: Path
+    num_shards: int = 0
+    workers: List[int] = dataclasses.field(default_factory=list)
+    num_records: int = 0
+    warnings: List[str] = dataclasses.field(default_factory=list)
+    already_merged: bool = False
+
+    def summary_line(self) -> str:
+        """One-line human-readable description of the merge."""
+        if self.already_merged and not self.num_shards:
+            return f"{self.path}: already merged, no shards to fold in"
+        workers = ", ".join(str(pid) for pid in self.workers) or "none"
+        return (
+            f"{self.path}: merged {self.num_shards} worker shard(s) "
+            f"(workers: {workers}), {self.num_records} records"
+        )
+
+
+def _load_shard(
+    path: Path,
+) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]], List[str]]:
+    """Tolerantly parse one shard into ``(header, records, warnings)``.
+
+    A truncated final line (worker killed mid-write) keeps the complete
+    records and warns; a missing/invalid header drops the shard with a
+    warning.
+    """
+    warnings: List[str] = []
+    records: List[Dict[str, Any]] = []
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return None, [], [f"{path}: unreadable worker shard ({error}); dropped from merge"]
+    lines = raw.splitlines()
+    for line_number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if line_number == len(lines) - 1 and not raw.endswith("\n"):
+                warnings.append(
+                    f"{path}: truncated worker shard (worker likely died "
+                    f"mid-write); kept {len(records)} complete record(s)"
+                )
+            else:
+                warnings.append(
+                    f"{path}:{line_number + 1}: invalid JSON in worker shard; "
+                    f"dropped from merge"
+                )
+                return None, [], warnings
+            break
+    if not records:
+        warnings.append(f"{path}: empty worker shard; dropped from merge")
+        return None, [], warnings
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        warnings.append(
+            f"{path}: worker shard missing {TRACE_SCHEMA!r} header; dropped from merge"
+        )
+        return None, [], warnings
+    return header, records[1:], warnings
+
+
+def _sort_key(record: Dict[str, Any]) -> float:
+    """Chronological key: span start or event time (header sorts first)."""
+    value = record.get("start_s", record.get("time_s"))
+    return float(value) if value is not None else float("-inf")
+
+
+def merge_trace(
+    trace_path: Union[str, Path],
+    shard_paths: Optional[Sequence[Union[str, Path]]] = None,
+    out: Optional[Union[str, Path]] = None,
+    expected_shards: Optional[int] = None,
+    keep_shards: bool = False,
+) -> MergeReport:
+    """Merge worker shards of ``trace_path`` into one ordered trace.
+
+    Parameters
+    ----------
+    trace_path:
+        The orchestrator trace.  Shards are discovered next to it
+        (``<stem>-worker-*.jsonl``) unless ``shard_paths`` is given.
+    out:
+        Where to write the merged trace; defaults to ``trace_path``
+        (replaced atomically).
+    expected_shards:
+        Warn if fewer shards are found (a worker failed to flush).
+    keep_shards:
+        Leave merged shard files on disk instead of deleting them.
+
+    Merging a trace with no shards present is a no-op (idempotent): rerunning
+    ``trace merge`` on an already-merged file reports that and succeeds.
+    """
+    trace_path = Path(trace_path)
+    out = Path(out) if out is not None else trace_path
+    header, records = load_trace(trace_path)
+
+    if shard_paths is None:
+        shards = find_trace_shards(trace_path)
+    else:
+        shards = sorted(Path(path) for path in shard_paths)
+
+    report = MergeReport(path=out, already_merged=bool(header.get("merged")))
+    already_counted = int(header.get("num_shards", 0))
+    if expected_shards is not None and len(shards) + already_counted < expected_shards:
+        report.warnings.append(
+            f"{trace_path}: expected {expected_shards} worker shard(s), found "
+            f"{len(shards)} -- the merged trace is missing worker activity "
+            f"(a worker may have died before flushing its shard)"
+        )
+    if not shards:
+        report.num_records = len(records)
+        if not report.already_merged and out != trace_path:
+            _write_merged(out, header, records)
+        return report
+
+    parent_depths = {
+        record["span_id"]: int(record.get("depth", 0))
+        for record in records
+        if record.get("type") == "span" and "span_id" in record
+    }
+    max_id = max(
+        (int(record["span_id"]) for record in records if "span_id" in record and record["span_id"] is not None),
+        default=0,
+    )
+    next_id = max_id + 1
+    merged_records = list(records)
+    absorbed: List[Path] = []
+
+    for shard_path in shards:
+        shard_header, shard_records, shard_warnings = _load_shard(shard_path)
+        report.warnings.extend(shard_warnings)
+        if shard_header is None:
+            continue
+        worker = shard_header.get("worker")
+        parent_span_id = shard_header.get("parent_span_id")
+        depth_shift = parent_depths.get(parent_span_id, -1) + 1
+        id_map: Dict[int, int] = {}
+        for record in shard_records:
+            old_id = record.get("span_id")
+            if record.get("type") == "span" and old_id is not None:
+                if old_id not in id_map:
+                    id_map[old_id] = next_id
+                    next_id += 1
+                record["span_id"] = id_map[old_id]
+                old_parent = record.get("parent_id")
+                if old_parent is None:
+                    record["parent_id"] = parent_span_id
+                else:
+                    if old_parent not in id_map:
+                        id_map[old_parent] = next_id
+                        next_id += 1
+                    record["parent_id"] = id_map[old_parent]
+                record["depth"] = int(record.get("depth", 0)) + depth_shift
+            elif old_id is not None:
+                # events reference the span they occurred in
+                if old_id not in id_map:
+                    id_map[old_id] = next_id
+                    next_id += 1
+                record["span_id"] = id_map[old_id]
+            if worker is not None:
+                record["worker"] = worker
+            merged_records.append(record)
+        report.num_shards += 1
+        if worker is not None:
+            report.workers.append(int(worker))
+        absorbed.append(shard_path)
+
+    merged_records.sort(key=_sort_key)
+    merged_header = dict(header)
+    merged_header["merged"] = True
+    merged_header["num_shards"] = report.num_shards + int(header.get("num_shards", 0))
+    merged_header["workers"] = sorted(
+        set(int(pid) for pid in header.get("workers", [])) | set(report.workers)
+    )
+    _write_merged(out, merged_header, merged_records)
+    report.num_records = len(merged_records)
+
+    if not keep_shards:
+        for shard_path in absorbed:
+            try:
+                shard_path.unlink()
+            except OSError:
+                pass
+    return report
+
+
+def _write_merged(
+    out: Path, header: Dict[str, Any], records: List[Dict[str, Any]]
+) -> None:
+    """Atomically write a merged trace (header first, then records)."""
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_name(out.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    os.replace(tmp, out)

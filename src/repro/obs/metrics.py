@@ -34,8 +34,11 @@ from repro.stream.quantiles import interpolated_quantile
 __all__ = [
     "METRICS_SCHEMA",
     "METRICS_SCHEMA_VERSION",
+    "WORKER_METRICS_SCHEMA",
+    "WORKER_METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
     "timer_stats",
+    "load_worker_metrics",
 ]
 
 #: Schema tag of a serialized metrics snapshot.
@@ -43,6 +46,12 @@ METRICS_SCHEMA = schema("metrics")
 
 #: Version number of the snapshot schema.
 METRICS_SCHEMA_VERSION = 1
+
+#: Schema tag of a raw per-worker metrics shard (pool-teardown fan-in).
+WORKER_METRICS_SCHEMA = schema("worker-metrics")
+
+#: Version number of the worker-shard schema.
+WORKER_METRICS_SCHEMA_VERSION = 1
 
 #: Per-timer cap on retained observations.  ``count``/``total_s`` stay exact
 #: beyond the cap; the percentile statistics then describe the first
@@ -89,9 +98,10 @@ class MetricsRegistry:
 
     Not thread-safe by design: the campaign layer is process-parallel, not
     thread-parallel, and each process owns (at most) one registry.  Worker
-    processes of a parallel campaign start with observability disabled, so
-    their metrics are not aggregated -- the parent still counts records,
-    cache hits and per-task wall times read from the returned records.
+    processes of a parallel campaign each run their own registry and write a
+    raw ``hex-repro/worker-metrics/v1`` shard on pool teardown
+    (:meth:`write_worker_snapshot`); the parent folds those shards back in
+    with ``worker.*`` provenance via :meth:`merge_worker_snapshot`.
     """
 
     def __init__(self) -> None:
@@ -164,6 +174,73 @@ class MetricsRegistry:
         )
         return path
 
+    # ------------------------------------------------------------------
+    # cross-process fan-in (parallel campaign workers)
+    # ------------------------------------------------------------------
+    def worker_snapshot(self) -> Dict[str, Any]:
+        """The raw ``hex-repro/worker-metrics/v1`` shard of this registry.
+
+        Unlike :meth:`snapshot`, timers keep their *raw* retained values (not
+        just the computed statistics) so the parent can merge counts, totals
+        and percentile inputs exactly -- medians/p95 of the fan-in equal the
+        single-process run bit for bit.
+        """
+        return {
+            "schema": WORKER_METRICS_SCHEMA,
+            "schema_version": WORKER_METRICS_SCHEMA_VERSION,
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name] for name in sorted(self._gauges)},
+            "timers": {
+                name: {
+                    "count": int(self._timer_counts[name]),
+                    "total_s": float(self._timer_totals[name]),
+                    "values": list(self._timer_values.get(name, [])),
+                }
+                for name in sorted(self._timer_counts)
+            },
+        }
+
+    def write_worker_snapshot(self, path: Union[str, Path]) -> Path:
+        """Persist :meth:`worker_snapshot` as a JSON file."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.worker_snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def merge_worker_snapshot(
+        self, payload: Dict[str, Any], prefix: str = "worker."
+    ) -> None:
+        """Fold one ``hex-repro/worker-metrics/v1`` shard into this registry.
+
+        Every merged name carries ``prefix`` as provenance (so
+        ``engine.solver.runs`` counted inside pool workers lands as
+        ``worker.engine.solver.runs`` next to the parent's own counters).
+        Counters add, gauges keep the last merged shard's value (shards are
+        merged in sorted filename order, so the result is deterministic given
+        the shard set), and timers merge counts/totals/raw values exactly.
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.inc(prefix + name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(prefix + name, value)
+        for name, timer in payload.get("timers", {}).items():
+            merged = prefix + name
+            self._timer_counts[merged] = self._timer_counts.get(merged, 0) + int(
+                timer.get("count", 0)
+            )
+            self._timer_totals[merged] = self._timer_totals.get(merged, 0.0) + float(
+                timer.get("total_s", 0.0)
+            )
+            values = self._timer_values.setdefault(merged, [])
+            for value in timer.get("values", []):
+                if len(values) >= _TIMER_VALUE_CAP:
+                    break
+                values.append(float(value))
+
 
 def load_metrics(path: Union[str, Path]) -> Dict[str, Any]:
     """Load a snapshot written by :meth:`MetricsRegistry.write`.
@@ -177,6 +254,25 @@ def load_metrics(path: Union[str, Path]) -> Dict[str, Any]:
     if not isinstance(payload, dict) or payload.get("schema") != METRICS_SCHEMA:
         raise ValueError(
             f"{path}: not a metrics snapshot (expected schema {METRICS_SCHEMA!r}, "
+            f"got {payload.get('schema') if isinstance(payload, dict) else type(payload).__name__!r})"
+        )
+    return payload
+
+
+def load_worker_metrics(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a shard written by :meth:`MetricsRegistry.write_worker_snapshot`.
+
+    Raises
+    ------
+    ValueError
+        If the document does not carry the ``hex-repro/worker-metrics/v1``
+        schema.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != WORKER_METRICS_SCHEMA:
+        raise ValueError(
+            f"{path}: not a worker metrics shard (expected schema "
+            f"{WORKER_METRICS_SCHEMA!r}, "
             f"got {payload.get('schema') if isinstance(payload, dict) else type(payload).__name__!r})"
         )
     return payload

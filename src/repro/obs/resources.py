@@ -1,0 +1,111 @@
+"""Process resource accounting: CPU time, peak RSS and GC activity.
+
+Everything here *reads* OS bookkeeping (``resource.getrusage``,
+``/proc/self/status``, ``gc.get_stats``) -- it never draws randomness and
+never touches simulation state, so stamping resource numbers into span
+attributes or gauges keeps the obs bit-identity contract intact.
+
+``resource`` is POSIX-only; on platforms without it every helper degrades to
+zeros / best-effort fallbacks rather than raising, so instrumented code never
+needs its own platform guard.
+
+These call sites are wall-clock-adjacent by nature (CPU time is time), which
+is why ``obs.resources`` sits on the D002 determinism-rule allowlist
+(:mod:`repro.checks.determinism`): resource numbers are observability output,
+never inputs to simulation.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Any, Dict, Optional
+
+try:  # POSIX only; absent on Windows
+    import resource as _resource
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    _resource = None  # type: ignore[assignment]
+
+__all__ = ["ResourceSnapshot", "snapshot", "delta_attrs", "usage_gauges", "rss_bytes"]
+
+#: ``ru_maxrss`` unit: kilobytes on Linux, bytes on macOS.
+_MAXRSS_SCALE = 1024
+
+
+class ResourceSnapshot:
+    """Point-in-time CPU/GC reading used to compute per-task deltas."""
+
+    __slots__ = ("cpu_user_s", "cpu_system_s", "gc_collections")
+
+    def __init__(self, cpu_user_s: float, cpu_system_s: float, gc_collections: int) -> None:
+        self.cpu_user_s = cpu_user_s
+        self.cpu_system_s = cpu_system_s
+        self.gc_collections = gc_collections
+
+
+def _gc_collections() -> int:
+    """Total garbage collections across all generations so far."""
+    return sum(int(stats.get("collections", 0)) for stats in gc.get_stats())
+
+
+def snapshot() -> ResourceSnapshot:
+    """Current process CPU time and cumulative GC collection count."""
+    if _resource is None:
+        return ResourceSnapshot(0.0, 0.0, _gc_collections())
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    return ResourceSnapshot(
+        cpu_user_s=float(usage.ru_utime),
+        cpu_system_s=float(usage.ru_stime),
+        gc_collections=_gc_collections(),
+    )
+
+
+def delta_attrs(before: ResourceSnapshot, after: Optional[ResourceSnapshot] = None) -> Dict[str, Any]:
+    """Span attributes describing resource use since ``before``.
+
+    Includes the *current* peak RSS (a process-lifetime high-water mark, not
+    a delta -- ``getrusage`` offers no per-interval peak).
+    """
+    if after is None:
+        after = snapshot()
+    return {
+        "cpu_user_s": after.cpu_user_s - before.cpu_user_s,
+        "cpu_system_s": after.cpu_system_s - before.cpu_system_s,
+        "gc_collections": after.gc_collections - before.gc_collections,
+        "max_rss_bytes": max_rss_bytes(),
+    }
+
+
+def usage_gauges(prefix: str) -> Dict[str, float]:
+    """Gauge name/value pairs for this process's cumulative resource use."""
+    current = snapshot()
+    return {
+        f"{prefix}.cpu_user_s": current.cpu_user_s,
+        f"{prefix}.cpu_system_s": current.cpu_system_s,
+        f"{prefix}.gc_collections": float(current.gc_collections),
+        f"{prefix}.max_rss_bytes": float(max_rss_bytes()),
+    }
+
+
+def max_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unavailable)."""
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss) * _MAXRSS_SCALE
+
+
+def rss_bytes() -> int:
+    """Current resident set size in bytes (peak RSS fallback, else 0).
+
+    Prefers ``/proc/self/status`` ``VmRSS`` (current, Linux); falls back to
+    the ``getrusage`` high-water mark elsewhere.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    parts = line.split()
+                    if len(parts) >= 2 and parts[1].isdigit():
+                        return int(parts[1]) * 1024
+    except OSError:
+        pass
+    return max_rss_bytes()

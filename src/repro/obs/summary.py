@@ -15,7 +15,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.checks.schemas import schema
 from repro.obs.metrics import METRICS_SCHEMA, load_metrics, timer_stats
-from repro.obs.trace import TRACE_SCHEMA, load_trace_records
+from repro.obs.trace import TRACE_SCHEMA, load_trace
 from repro.stream import StreamSummary
 
 __all__ = ["summarize_file", "render_summary"]
@@ -98,11 +98,16 @@ def _summarize_metrics(path: Path) -> Dict[str, Any]:
     }
 
 
+#: Span names counted as "tasks" in per-worker rollups of merged traces.
+_TASK_SPAN_NAMES = ("campaign.task", "campaign.task_batch")
+
+
 def _summarize_trace(path: Path) -> Dict[str, Any]:
-    records = load_trace_records(path)
+    header, records = load_trace(path)
     spans: Dict[str, Dict[str, Any]] = {}
     event_counts: Dict[str, int] = {}
     des_kinds: Dict[str, int] = {}
+    workers: Dict[int, Dict[str, Any]] = {}
     max_depth = 0
     total_span_time = 0.0
     num_spans = 0
@@ -119,16 +124,43 @@ def _summarize_trace(path: Path) -> Dict[str, Any]:
             bucket["values"].append(duration)
             if record.get("depth", 0) == 0:
                 total_span_time += duration
+            worker = record.get("worker")
+            if worker is not None:
+                rollup = workers.setdefault(
+                    int(worker),
+                    {"spans": 0, "tasks": 0, "task_values": [], "max_rss_bytes": 0},
+                )
+                rollup["spans"] += 1
+                rss = (record.get("attrs") or {}).get("max_rss_bytes")
+                if isinstance(rss, (int, float)):
+                    rollup["max_rss_bytes"] = max(rollup["max_rss_bytes"], int(rss))
+                if name in _TASK_SPAN_NAMES:
+                    rollup["tasks"] += 1
+                    rollup["task_values"].append(duration)
         elif kind == "event":
             name = record.get("name", "?")
             event_counts[name] = event_counts.get(name, 0) + 1
             if name == "des.event":
                 des_kind = (record.get("attrs") or {}).get("kind", "?")
                 des_kinds[des_kind] = des_kinds.get(des_kind, 0) + 1
+    by_worker: Dict[str, Dict[str, Any]] = {}
+    for pid in sorted(workers):
+        rollup = workers[pid]
+        values = rollup.pop("task_values")
+        stats = timer_stats(values, len(values), sum(values))
+        by_worker[str(pid)] = {
+            "spans": rollup["spans"],
+            "tasks": rollup["tasks"],
+            "task_total_s": stats["total_s"],
+            "task_median_s": stats.get("median_s", 0.0),
+            "max_rss_bytes": rollup["max_rss_bytes"],
+        }
     return {
         "file": str(path),
         "format": "trace",
         "schema": TRACE_SCHEMA,
+        "merged": bool(header.get("merged")),
+        "num_shards": int(header.get("num_shards", 0)),
         "num_spans": num_spans,
         "num_events": sum(event_counts.values()),
         "max_depth": max_depth,
@@ -139,15 +171,20 @@ def _summarize_trace(path: Path) -> Dict[str, Any]:
         },
         "events": dict(sorted(event_counts.items())),
         "des_event_kinds": dict(sorted(des_kinds.items())),
+        "workers": by_worker,
     }
 
 
-def render_summary(summary: Dict[str, Any], top: Optional[int] = None) -> str:
+def render_summary(
+    summary: Dict[str, Any], top: Optional[int] = None, by_worker: bool = False
+) -> str:
     """Format a :func:`summarize_file` result as a human-readable report.
 
     ``top`` truncates the per-name span table of trace summaries to the
     ``top`` names with the largest total time (the rest are folded into one
-    "... and K more" line); metrics and soak reports ignore it.
+    "... and K more" line); metrics and soak reports ignore it.  ``by_worker``
+    adds the per-worker rollup table of a merged multi-shard trace (tasks,
+    total/median task time, peak RSS per worker pid).
     """
     lines: List[str] = []
     if summary["format"] == "soak":
@@ -213,6 +250,26 @@ def render_summary(summary: Dict[str, Any], top: Optional[int] = None) -> str:
             f"{summary['num_events']} events, "
             f"top-level time {summary['top_level_time_s']:.4f}s"
         )
+        workers = summary.get("workers") or {}
+        if summary.get("merged"):
+            pids = ", ".join(sorted(workers)) or "?"
+            lines.append(
+                f"  merged from {summary.get('num_shards', len(workers))} "
+                f"worker shard(s) (pids: {pids})"
+            )
+        if by_worker and workers:
+            lines.append("  by worker:")
+            lines.append(
+                f"    {'pid':<10} {'spans':>6} {'tasks':>6} "
+                f"{'task total':>12} {'task median':>12} {'peak rss':>10}"
+            )
+            for pid, rollup in workers.items():
+                lines.append(
+                    f"    {pid:<10} {rollup['spans']:>6} {rollup['tasks']:>6} "
+                    f"{rollup['task_total_s']:>11.4f}s "
+                    f"{rollup['task_median_s'] * 1e3:>10.3f}ms "
+                    f"{rollup['max_rss_bytes'] / 1e6:>8.1f}MB"
+                )
         if summary["spans"]:
             items = list(summary["spans"].items())
             omitted = 0

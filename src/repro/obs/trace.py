@@ -24,7 +24,7 @@ import itertools
 import json
 import time
 from pathlib import Path
-from typing import IO, Any, Dict, List, Optional, Union
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
 
 from repro.checks.schemas import schema
 
@@ -33,6 +33,8 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "TraceSink",
     "Tracer",
+    "load_trace",
+    "load_trace_records",
 ]
 
 #: Schema tag carried in the header line of a trace file.
@@ -58,20 +60,28 @@ class TraceSink:
 
     The header line is written eagerly on construction so that even an empty
     (or crashed) run leaves a parseable, schema-identified file behind.
+    ``header_extra`` fields are merged into the header record; worker shards
+    of a parallel campaign use them to carry their trace id, pid and the
+    orchestrator span they hang under (see :mod:`repro.obs.context`).
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header_extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.path = Path(path)
         if self.path.parent != Path(""):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
-        self.write(
-            {
-                "type": "header",
-                "schema": TRACE_SCHEMA,
-                "schema_version": TRACE_SCHEMA_VERSION,
-            }
-        )
+        header: Dict[str, Any] = {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "schema_version": TRACE_SCHEMA_VERSION,
+        }
+        if header_extra:
+            header.update({key: _jsonable(value) for key, value in header_extra.items()})
+        self.write(header)
 
     def write(self, record: Dict[str, Any]) -> None:
         """Append one record as a JSON line (no-op after :meth:`close`)."""
@@ -120,15 +130,34 @@ class _Span:
 
 
 class Tracer:
-    """Produces nested spans and point events, writing them to a sink."""
+    """Produces nested spans and point events, writing them to a sink.
 
-    def __init__(self, sink: TraceSink) -> None:
+    ``origin`` overrides the timeline anchor: by default ``start_s`` values
+    are offsets from tracer creation, but worker tracers of a parallel
+    campaign are anchored at the *parent's* origin so every shard shares one
+    timeline (``time.perf_counter`` is ``CLOCK_MONOTONIC`` on Linux --
+    comparable across processes on one machine).  ``id_offset`` namespaces
+    span ids (workers use ``pid * 1_000_000``) so shard ids never collide
+    before the merge renumbers them.
+    """
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        origin: Optional[float] = None,
+        id_offset: int = 0,
+    ) -> None:
         self.sink = sink
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(1 + id_offset)
         self._stack: List[_Span] = []
-        self._origin = time.perf_counter()
+        self._origin = time.perf_counter() if origin is None else float(origin)
         self.num_spans = 0
         self.num_events = 0
+
+    @property
+    def origin(self) -> float:
+        """The ``time.perf_counter`` value all ``start_s`` offsets anchor to."""
+        return self._origin
 
     @property
     def current_span_id(self) -> Optional[int]:
@@ -189,10 +218,14 @@ class Tracer:
         self.sink.close()
 
 
-def load_trace_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse a ``hex-repro/trace/v1`` JSONL file into a list of records.
+def load_trace(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Parse a ``hex-repro/trace/v1`` JSONL file into ``(header, records)``.
 
-    The header line is validated and excluded from the returned list.
+    The header line is validated and returned separately (merged traces carry
+    provenance fields -- ``merged``, ``num_shards``, ``workers`` -- that
+    shard-aware consumers need).
 
     Raises
     ------
@@ -219,4 +252,13 @@ def load_trace_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
             f"{path}: not a trace file (expected schema {TRACE_SCHEMA!r} header, "
             f"got {header.get('schema')!r})"
         )
-    return records[1:]
+    return header, records[1:]
+
+
+def load_trace_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a ``hex-repro/trace/v1`` JSONL file into a list of records.
+
+    The header line is validated and excluded from the returned list; use
+    :func:`load_trace` when the header's provenance fields matter.
+    """
+    return load_trace(path)[1]

@@ -330,10 +330,10 @@ class TestBitIdentity:
         obs_stats = pooled_statistics(observed_run.records).as_row()
         assert base_stats == obs_stats
 
-    def test_parallel_workers_run_uninstrumented(self, tmp_path):
-        """Fork-started pool workers must drop the inherited obs state: the
-        trace stays parent-only (no interleaved writes through the shared
-        file handle) and records stay identical to the serial obs-off run."""
+    def test_parallel_workers_fan_telemetry_back_in(self, tmp_path):
+        """Pool workers run their own instrumented sessions: worker activity
+        lands in the merged trace and the ``worker.*`` counters, while the
+        records stay byte-identical to the serial obs-off run."""
         from repro.campaign import CampaignRunner, CampaignSpec, SweepSpec
 
         cell = SweepSpec(
@@ -343,17 +343,30 @@ class TestBitIdentity:
         spec = CampaignSpec(name="obs-parallel", seed=2013, cells=(cell,))
         baseline = CampaignRunner(spec, workers=1).run()
         trace = tmp_path / "parallel.jsonl"
-        with obs.observed(trace=trace, des_events=True) as session:
+        with obs.observed(trace=trace) as session:
             parallel = CampaignRunner(spec, workers=2).run()
+            counters = session.registry.snapshot()["counters"]
         assert [r.canonical_json() for r in baseline.records] == [
             r.canonical_json() for r in parallel.records
         ]
-        names = {r["name"] for r in obs.load_trace_records(trace)}
+        header, records = obs.load_trace(trace)
+        assert header["merged"] is True
+        names = {r["name"] for r in records}
         assert "campaign.run" in names
-        assert "engine.run" not in names  # would mean a worker traced
-        assert "des.event" not in names
-        counters = session.registry.snapshot()["counters"]
-        assert "engine.des.runs" not in counters
+        # Worker engine runs now appear in the merged trace...
+        worker_spans = [r for r in records if "worker" in r]
+        assert {r["name"] for r in worker_spans} >= {"campaign.task", "engine.run"}
+        # ...parented under the orchestrator's campaign.run span.
+        campaign_span = next(r for r in records if r.get("name") == "campaign.run")
+        task_spans = [r for r in worker_spans if r["name"] == "campaign.task"]
+        assert task_spans
+        assert all(r["parent_id"] == campaign_span["span_id"] for r in task_spans)
+        # ...and the worker counters fan back in with provenance.
+        assert counters["worker.engine.des.runs"] == float(len(baseline.records))
+        assert counters["worker.campaign.tasks_executed"] == float(
+            len(baseline.records)
+        )
+        assert "engine.des.runs" not in counters  # parent ran no engine itself
 
     def test_task_content_keys_unchanged(self):
         from repro.campaign import CampaignSpec, SweepSpec
@@ -364,6 +377,222 @@ class TestBitIdentity:
         obs.enable(metrics=True)
         keys_on = [task.key() for task in spec.tasks()]
         assert keys_off == keys_on
+
+
+# ----------------------------------------------------------------------
+# cross-process fan-in: context propagation, shard merge, warnings
+# ----------------------------------------------------------------------
+def _parallel_spec(name: str, engines=("solver",), runs: int = 2):
+    from repro.campaign import CampaignSpec, SweepSpec
+
+    cell = SweepSpec(
+        layers=(8,), width=6, scenario=("i",), num_faults=0, runs=runs,
+        engine=engines, seed_salt=43,
+    )
+    return CampaignSpec(name=name, seed=2013, cells=(cell,))
+
+
+def _minimal_trace(path) -> int:
+    """Write a one-span parent trace; returns the span id."""
+    tracer = obs.Tracer(obs.TraceSink(path))
+    span = tracer.start_span("campaign.run")
+    tracer.end_span(span)
+    tracer.close()
+    return span.span_id
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_context_propagates_under_both_start_methods(self, tmp_path, start_method):
+        """obs.worker_init + TraceContext must work when workers inherit the
+        parent state (fork) AND when they start from a fresh interpreter and
+        unpickle the context (spawn, the macOS/Windows default)."""
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {start_method!r} not available")
+        from repro.campaign import CampaignRunner
+
+        spec = _parallel_spec(f"obs-{start_method}")
+        trace = tmp_path / f"{start_method}.jsonl"
+        with obs.observed(trace=trace) as session:
+            CampaignRunner(spec, workers=2, mp_start_method=start_method).run()
+            counters = session.registry.snapshot()["counters"]
+        assert counters["worker.campaign.tasks_executed"] == float(spec.num_tasks)
+        assert counters["worker.solver.heap_pushes"] > 0
+        header, records = obs.load_trace(trace)
+        assert header["merged"] is True
+        assert header["num_shards"] >= 1
+        assert any("worker" in record for record in records)
+
+    def test_missing_shard_warns_instead_of_merging_silently(self, tmp_path):
+        from repro.obs.merge import merge_trace
+
+        trace = tmp_path / "t.jsonl"
+        _minimal_trace(trace)
+        report = merge_trace(trace, expected_shards=2)
+        assert len(report.warnings) == 1
+        assert "expected 2 worker shard(s), found 0" in report.warnings[0]
+
+    def test_truncated_shard_warns_and_keeps_complete_records(self, tmp_path):
+        from repro.obs.merge import merge_trace
+
+        trace = tmp_path / "t.jsonl"
+        parent_span = _minimal_trace(trace)
+        shard = tmp_path / "t-worker-123.jsonl"
+        header = {
+            "type": "header", "schema": obs.TRACE_SCHEMA, "schema_version": 1,
+            "trace_id": "t", "worker": 123, "parent_span_id": parent_span,
+        }
+        complete = {
+            "type": "span", "name": "campaign.task", "span_id": 123_000_001,
+            "parent_id": None, "depth": 0, "start_s": 0.1, "duration_s": 0.2,
+        }
+        shard.write_text(
+            json.dumps(header) + "\n" + json.dumps(complete) + "\n"
+            + '{"type": "span", "na',  # worker died mid-write
+            encoding="utf-8",
+        )
+        report = merge_trace(trace, expected_shards=1)
+        assert any("truncated worker shard" in message for message in report.warnings)
+        header_out, records = obs.load_trace(trace)
+        assert header_out["merged"] is True
+        worker_spans = [r for r in records if r.get("worker") == 123]
+        assert len(worker_spans) == 1
+        assert worker_spans[0]["parent_id"] == parent_span
+        assert worker_spans[0]["depth"] == 1  # shifted below campaign.run
+        assert not shard.exists()  # absorbed shards are removed
+
+    def test_empty_shard_dropped_with_warning(self, tmp_path):
+        from repro.obs.merge import merge_trace
+
+        trace = tmp_path / "t.jsonl"
+        _minimal_trace(trace)
+        (tmp_path / "t-worker-7.jsonl").write_text("", encoding="utf-8")
+        report = merge_trace(trace)
+        assert any("empty worker shard" in message for message in report.warnings)
+
+    def test_merge_is_idempotent(self, tmp_path):
+        from repro.obs.merge import merge_trace
+
+        trace = tmp_path / "t.jsonl"
+        parent_span = _minimal_trace(trace)
+        shard = tmp_path / "t-worker-9.jsonl"
+        shard.write_text(
+            json.dumps({
+                "type": "header", "schema": obs.TRACE_SCHEMA, "schema_version": 1,
+                "trace_id": "t", "worker": 9, "parent_span_id": parent_span,
+            }) + "\n" + json.dumps({
+                "type": "span", "name": "campaign.task", "span_id": 9_000_001,
+                "parent_id": None, "depth": 0, "start_s": 0.1, "duration_s": 0.2,
+            }) + "\n",
+            encoding="utf-8",
+        )
+        first = merge_trace(trace, expected_shards=1)
+        assert first.num_shards == 1 and not first.warnings
+        merged_once = trace.read_text(encoding="utf-8")
+        again = merge_trace(trace, expected_shards=1)
+        assert again.already_merged and again.num_shards == 0
+        assert not again.warnings  # the absorbed shard still counts as found
+        assert trace.read_text(encoding="utf-8") == merged_once
+
+    def test_worker_metrics_shard_merges_exactly(self, tmp_path):
+        source = obs.MetricsRegistry()
+        source.inc("engine.solver.runs", 3)
+        source.gauge("campaign.worker_utilization", 0.5)
+        for value in (0.1, 0.2, 0.4):
+            source.observe("campaign.task_s", value)
+        shard = source.write_worker_snapshot(tmp_path / "w-metrics.json")
+
+        target = obs.MetricsRegistry()
+        target.merge_worker_snapshot(obs.load_worker_metrics(shard))
+        snap = target.snapshot()
+        assert snap["counters"] == {"worker.engine.solver.runs": 3.0}
+        assert snap["gauges"] == {"worker.campaign.worker_utilization": 0.5}
+        merged = snap["timers"]["worker.campaign.task_s"]
+        original = source.snapshot()["timers"]["campaign.task_s"]
+        # Raw values travel with the shard, so the percentile statistics are
+        # exact -- not recomputed from pre-aggregated summaries.
+        for key in ("count", "total_s", "mean_s", "median_s", "p95_s"):
+            assert merged[key] == original[key]
+
+    def test_load_worker_metrics_rejects_plain_snapshot(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        path = registry.write(tmp_path / "plain.json")
+        with pytest.raises(ValueError, match="worker-metrics"):
+            obs.load_worker_metrics(path)
+
+    def test_work_counters_identical_across_solver_paths(self):
+        """The deterministic work counters are path-independent: a serial
+        campaign (plan-compiled batched sweep) and a parallel one (per-task
+        reference sweep in pool workers) report the same numbers."""
+        from repro.campaign import CampaignRunner
+
+        spec = _parallel_spec("obs-work", runs=3)
+        with obs.observed(metrics=True) as session:
+            CampaignRunner(spec, workers=1).run()
+            serial = session.registry.snapshot()["counters"]
+        with obs.observed(metrics=True) as session:
+            CampaignRunner(spec, workers=1).run()
+            serial_again = session.registry.snapshot()["counters"]
+        with obs.observed(metrics=True) as session:
+            CampaignRunner(spec, workers=2).run()
+            parallel = session.registry.snapshot()["counters"]
+        for name in ("heap_pushes", "frontier_advances", "messages_delivered"):
+            assert serial[f"solver.{name}"] > 0
+            assert serial[f"solver.{name}"] == serial_again[f"solver.{name}"]
+            assert serial[f"solver.{name}"] == parallel[f"worker.solver.{name}"]
+
+    def test_resource_attrs_stamped_on_task_spans(self, tmp_path):
+        from repro.campaign.runner import execute_task
+
+        spec = _parallel_spec("obs-resources", runs=1)
+        task = spec.tasks()[0]
+        trace = tmp_path / "res.jsonl"
+        with obs.observed(trace=trace):
+            execute_task(task)
+        records = obs.load_trace_records(trace)
+        task_span = next(r for r in records if r.get("name") == "campaign.task")
+        attrs = task_span["attrs"]
+        for key in ("cpu_user_s", "cpu_system_s", "gc_collections", "max_rss_bytes"):
+            assert key in attrs
+        assert attrs["max_rss_bytes"] > 0
+
+    def test_resources_helpers(self):
+        before = obs.resources.snapshot()
+        attrs = obs.resources.delta_attrs(before)
+        assert set(attrs) == {
+            "cpu_user_s", "cpu_system_s", "gc_collections", "max_rss_bytes",
+        }
+        gauges = obs.resources.usage_gauges("soak")
+        assert set(gauges) == {
+            "soak.cpu_user_s", "soak.cpu_system_s", "soak.gc_collections",
+            "soak.max_rss_bytes",
+        }
+        assert obs.resources.rss_bytes() > 0
+
+    def test_summarize_merged_trace_by_worker(self, tmp_path, capsys):
+        from repro.campaign import CampaignRunner
+        from repro.cli import main
+
+        spec = _parallel_spec("obs-byworker")
+        trace = tmp_path / "bw.jsonl"
+        with obs.observed(trace=trace):
+            CampaignRunner(spec, workers=2).run()
+        summary = summarize_file(trace)
+        assert summary["merged"] is True
+        assert summary["workers"]
+        for rollup in summary["workers"].values():
+            assert rollup["task_total_s"] >= 0.0
+            assert rollup["max_rss_bytes"] > 0
+        assert sum(r["tasks"] for r in summary["workers"].values()) == spec.num_tasks
+        rendered = render_summary(summary, by_worker=True)
+        assert "by worker:" in rendered and "peak rss" in rendered
+        # The CLI surfaces both the merge (idempotent) and the rollup table.
+        assert main(["trace", "merge", str(trace)]) == 0
+        assert "already merged" in capsys.readouterr().out
+        assert main(["trace", "summarize", str(trace), "--by-worker"]) == 0
+        assert "by worker:" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------

@@ -39,8 +39,8 @@ from repro.multiplication.fastclock import (
     fast_clock_skew_bound,
     measure_fast_clock_skew,
 )
+from repro.engines import get_engine
 from repro.simulation.links import UniformRandomDelays
-from repro.simulation.runner import simulate_single_pulse
 
 
 def main(quick: bool = False) -> None:
@@ -75,7 +75,7 @@ def main(quick: bool = False) -> None:
     grid = HexGrid(layers=6, width=8) if quick else HexGrid(layers=20, width=12)
     rng = np.random.default_rng(11)
     layer0 = scenario_layer0_times("i", grid.width, timing, rng=rng)
-    result = simulate_single_pulse(
+    result = get_engine("solver").single_pulse(
         grid, timing, layer0, rng=rng, delays=UniformRandomDelays(timing, rng)
     )
 

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import HexGrid, TimingConfig, simulate_single_pulse
+from repro import HexGrid, TimingConfig
 from repro.analysis.skew import SkewStatistics
 from repro.clocksource import scenario_layer0_times
 from repro.core.bounds import theorem1_uniform_bound
+from repro.engines import get_engine
 from repro.experiments.report import format_kv
 from repro.simulation.links import UniformRandomDelays
 
@@ -38,14 +39,16 @@ def main(quick: bool = False) -> None:
     rng = np.random.default_rng(42)
     layer0 = scenario_layer0_times("iii", grid.width, timing, rng=rng)
 
-    # Use one shared per-link delay model so both engines see identical delays.
+    # Use one shared per-link delay model so both engines see identical
+    # delays.  Engines are resolved through the registry (the one entry
+    # point); both hex engines accept explicit arrays via single_pulse.
     delays = UniformRandomDelays(timing, rng)
 
-    solver_result = simulate_single_pulse(
-        grid, timing, layer0, rng=rng, delays=delays, engine="solver"
+    solver_result = get_engine("solver").single_pulse(
+        grid, timing, layer0, rng=rng, delays=delays
     )
-    des_result = simulate_single_pulse(
-        grid, timing, layer0, rng=np.random.default_rng(7), delays=delays, engine="des"
+    des_result = get_engine("des").single_pulse(
+        grid, timing, layer0, rng=np.random.default_rng(7), delays=delays
     )
 
     agreement = float(

@@ -70,12 +70,13 @@ repository root for the full inventory):
 
 Quickstart
 ----------
->>> from repro import HexGrid, TimingConfig, simulate_single_pulse
->>> from repro.clocksource import scenario_layer0_times
->>> grid = HexGrid(layers=10, width=8)
->>> cfg = TimingConfig.paper_defaults()
->>> t0 = scenario_layer0_times("zero", grid.width, cfg, seed=1)
->>> result = simulate_single_pulse(grid, cfg, layer0_times=t0, seed=1)
+The one entry point for execution is the engine registry: describe the run as
+a :class:`~repro.engines.base.RunSpec` and hand it to a registered engine
+(``solver`` / ``des`` / ``clocktree`` / ``array``):
+
+>>> from repro.engines import RunSpec, get_engine
+>>> spec = RunSpec(layers=10, width=8, scenario="zero", entropy=1)
+>>> result = get_engine("solver").run(spec)
 >>> result.trigger_times.shape
 (11, 8)
 """

@@ -47,6 +47,7 @@ from repro.core.topology import HexGrid
 from repro.engines import RunSpec, available_engines, get_engine
 from repro.engines.base import (
     DELAY_MODELS,
+    EXACTNESS,
     INITIAL_STATES,
     canonical_fault_type,
     canonical_json,
@@ -55,6 +56,7 @@ from repro.engines.base import (
     canonical_timeouts,
     canonical_timer_policy,
     content_key,
+    require_exactness,
     timeouts_from_tuple,
 )
 from repro.faults.models import FaultType
@@ -162,6 +164,17 @@ delay_model, fault_schedule, topology:
         historical random-initial-states behaviour.
     label:
         Free-form tag carried through to the records (e.g. ``"byzantine"``).
+    require_exactness:
+        Optional exactness requirement (one of
+        :data:`~repro.engines.base.EXACTNESS`) every ``(engine, delay_model,
+        num_faults, fault_schedule)`` pairing of the cell must satisfy per
+        the engines' declared contracts
+        (:attr:`~repro.engines.base.EngineCapabilities.exactness`).  Checked
+        at build time via :func:`repro.engines.base.require_exactness`, so a
+        cell that *assumes* cross-engine bit-identity (e.g. an engine-axis
+        comparison sweep) fails with a contract error instead of producing
+        silently diverging numbers.  ``None`` (the default) requires nothing
+        and is omitted from the canonical JSON, preserving content keys.
     """
 
     layers: Tuple[int, ...] = (50,)
@@ -183,6 +196,7 @@ delay_model, fault_schedule, topology:
     timeouts: Optional[Tuple[float, ...]] = None
     initial_states: Optional[str] = None
     label: str = ""
+    require_exactness: Optional[str] = None
 
     def __post_init__(self) -> None:
         coerce = object.__setattr__
@@ -287,6 +301,41 @@ delay_model, fault_schedule, topology:
                         "the hex engines ('solver'/'des') and keep this engine in "
                         "its own cylinder-only cell"
                     )
+        # Exactness requirements fail at build time too: every pairing of the
+        # engine, delay_model, num_faults and fault_schedule axes is probed
+        # against the engine's declared contract (these four axes are exactly
+        # what the exactness predicates consult), so a cell assuming
+        # cross-engine bit-identity cannot silently sweep a regime where no
+        # engine promises it.
+        if self.require_exactness is not None:
+            if self.require_exactness not in EXACTNESS:
+                raise ValueError(
+                    f"unknown require_exactness {self.require_exactness!r}; "
+                    f"expected one of {EXACTNESS} (or None)"
+                )
+            probe_engines = self.engine if self.kind == "single_pulse" else ("des",)
+            for engine in probe_engines:
+                backend = get_engine(engine)
+                for delay_model in self.delay_model:
+                    for num_faults in self.num_faults:
+                        for schedule in self.fault_schedule:
+                            probe = RunSpec(
+                                kind=self.kind,
+                                layers=self.layers[0],
+                                width=self.width[0],
+                                topology=self.topology[0],
+                                delay_model=delay_model,
+                                num_faults=num_faults,
+                                fault_schedule=schedule,
+                            )
+                            try:
+                                require_exactness(backend, probe, self.require_exactness)
+                            except ValueError as error:
+                                raise ValueError(
+                                    "cell cannot guarantee "
+                                    f"require_exactness={self.require_exactness!r}: "
+                                    f"{error}"
+                                ) from error
         if self.kind not in KINDS:
             raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
         if self.runs < 1:
@@ -344,8 +393,9 @@ delay_model, fault_schedule, topology:
 
         The adversary fields (``delay_model``, ``fault_schedule``,
         ``initial_states``) are omitted at their defaults -- and ``topology``
-        at the all-cylinder default -- so cells that do not use those layers
-        serialize -- and hash -- exactly as before the layers existed.
+        at the all-cylinder default, and ``require_exactness`` at ``None`` --
+        so cells that do not use those layers serialize -- and hash --
+        exactly as before the layers existed.
         """
         payload: Dict[str, Any] = {}
         for spec_field in fields(self):
@@ -365,7 +415,7 @@ delay_model, fault_schedule, topology:
                 if value == (DEFAULT_TOPOLOGY,):
                     continue
                 value = list(value)
-            elif spec_field.name == "initial_states":
+            elif spec_field.name in ("initial_states", "require_exactness"):
                 if value is None:
                     continue
             elif isinstance(value, tuple):

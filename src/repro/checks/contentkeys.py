@@ -104,7 +104,13 @@ def _build_omission_manifests() -> List[OmissionManifest]:
             name="SweepSpec",
             anchor="campaign/spec.py",
             build_default=SweepSpec,
-            omitted=("delay_model", "fault_schedule", "topology", "initial_states"),
+            omitted=(
+                "delay_model",
+                "fault_schedule",
+                "topology",
+                "initial_states",
+                "require_exactness",
+            ),
             probes={
                 "delay_model": lambda: SweepSpec(delay_model=("uniform",)),
                 # Dynamic schedules only execute on the DES engine.
@@ -114,6 +120,11 @@ def _build_omission_manifests() -> List[OmissionManifest]:
                 "topology": lambda: SweepSpec(topology=("torus",)),
                 "initial_states": lambda: SweepSpec(
                     kind="multi_pulse", initial_states="clean"
+                ),
+                # The solver's contract is unconditionally bit-identical, so
+                # the requirement is satisfiable with all other defaults.
+                "require_exactness": lambda: SweepSpec(
+                    require_exactness="bit_identical"
                 ),
             },
         ),
@@ -275,6 +286,20 @@ def _build_golden_specs() -> Dict[str, Tuple[Callable[[], str], str]]:
     def campaign() -> CampaignSpec:
         return CampaignSpec(name="golden", cells=(sweep(),))
 
+    def array_sweep() -> SweepSpec:
+        # The canonical array-engine comparison cell: engine axis pairing the
+        # heap solver with the dense frontier, deterministic delay models,
+        # and an explicit bit-identity requirement.  Pins both the engine
+        # name's spelling in the axis and the require_exactness field.
+        return SweepSpec(
+            layers=(8,),
+            width=(8,),
+            engine=("solver", "array"),
+            delay_model=("constant", "max_skew"),
+            runs=2,
+            require_exactness="bit_identical",
+        )
+
     return {
         "runspec-default": (
             lambda: RunSpec().key(),
@@ -300,6 +325,20 @@ def _build_golden_specs() -> Dict[str, Tuple[Callable[[], str], str]]:
         "sweepspec-basic": (
             lambda: content_key(sweep().to_json_dict()),
             "a259c4583f6f0a024e12877acd4e1318",
+        ),
+        "runspec-array-constant": (
+            lambda: RunSpec(
+                layers=64,
+                width=64,
+                delay_model="constant",
+                entropy=2013,
+                run_index=0,
+            ).key(),
+            "6006a46d90e6431c3524bfd4302b4fe2",
+        ),
+        "sweepspec-array-exact": (
+            lambda: content_key(array_sweep().to_json_dict()),
+            "da74d277b5482ad3788e213aec21a854",
         ),
         "campaign-golden": (
             lambda: campaign().key(),
@@ -378,7 +417,8 @@ def golden_key_findings(
     severity="error",
     doc=(
         "Defaulted spec fields (RunSpec topology/fault_schedule/initial_states; "
-        "SweepSpec and RunTask delay_model/fault_schedule/topology/"
+        "SweepSpec delay_model/fault_schedule/topology/initial_states/"
+        "require_exactness; RunTask delay_model/fault_schedule/topology/"
         "initial_states; SoakSpec fault_type/initial_states) must be omitted "
         "from canonical JSON at their default "
         "and present otherwise, so adding a defaulted field never renames "
@@ -395,8 +435,9 @@ def check_default_omission(context: CheckContext) -> Iterator[Finding]:
     name="contentkey-golden-corpus",
     severity="error",
     doc=(
-        "Content keys of a pinned spec corpus (RunSpec default/variant/burst, "
-        "SweepSpec, CampaignSpec, RunTask, FaultSchedule.burst, SoakSpec "
+        "Content keys of a pinned spec corpus (RunSpec default/variant/burst/"
+        "array-constant, SweepSpec basic/array-exact, CampaignSpec, RunTask, "
+        "FaultSchedule.burst, SoakSpec "
         "default/variant and a SoakCheckpoint state key) must match "
         "their golden values byte-for-byte; any canonical-JSON or hashing "
         "change shows up as a key diff.  Not waivable: deliberate migrations "

@@ -203,23 +203,40 @@ class HexGrid:
         if width < 3:
             raise ValueError(f"HEX grid needs width of at least 3 columns, got W={width}")
         self._dims = GridDimensions(layers=layers, width=width)
-        self._build_neighbor_tables()
+        self._all_tables: Optional[Dict[NodeId, Dict[Direction, NodeId]]] = None
+        self._in_tables: Optional[Dict[NodeId, Dict[Direction, NodeId]]] = None
+        self._out_tables: Optional[Dict[NodeId, Dict[Direction, NodeId]]] = None
+        self._link_directions: Optional[Dict[LinkId, Direction]] = None
 
     # ------------------------------------------------------------------
     # neighbour-table construction (the perf-critical cache)
     # ------------------------------------------------------------------
+    def _ensure_tables(self) -> None:
+        """Build the neighbour tables on first use.
+
+        Table construction is O(nodes) Python-dict work -- tens of seconds on
+        a million-node grid -- while the dense array engine never consults the
+        tables at all (its plans are built from vectorized boundary rules).
+        Deferring construction to the first accessor call keeps huge grids
+        usable for the array paths without slowing the solver/DES paths,
+        which build the tables exactly once on their first neighbour query.
+        """
+        if self._all_tables is None:
+            self._build_neighbor_tables()
+
     def _build_neighbor_tables(self) -> None:
         """Precompute per-node neighbour tables and the link-direction index.
 
         The DES broadcast loop and the solver's Dijkstra sweep query
         ``in_neighbors`` / ``out_neighbors`` / ``direction_between`` once per
         message; recomputing the wrap arithmetic there dominated the hot
-        loops.  The tables are built once at construction from the subclass's
-        :meth:`_raw_neighbor` rule and returned *by reference* -- callers must
-        treat the dicts as immutable.  Insertion orders are part of the
-        reproducibility contract: in-neighbours iterate LEFT, RIGHT,
-        LOWER_LEFT, LOWER_RIGHT and out-neighbours LEFT, RIGHT, UPPER_LEFT,
-        UPPER_RIGHT (exactly the historical on-the-fly dict orders).
+        loops.  The tables are built once (lazily, at the first accessor
+        call) from the subclass's :meth:`_raw_neighbor` rule and returned *by
+        reference* -- callers must treat the dicts as immutable.  Insertion
+        orders are part of the reproducibility contract: in-neighbours
+        iterate LEFT, RIGHT, LOWER_LEFT, LOWER_RIGHT and out-neighbours LEFT,
+        RIGHT, UPPER_LEFT, UPPER_RIGHT (exactly the historical on-the-fly
+        dict orders).
         """
         self._all_tables: Dict[NodeId, Dict[Direction, NodeId]] = {}
         self._in_tables: Dict[NodeId, Dict[Direction, NodeId]] = {}
@@ -400,6 +417,7 @@ class HexGrid:
         only defines links for nodes with ``layer > 0``); layer-L nodes have no
         upper neighbours (unless the topology wraps the layer axis).
         """
+        self._ensure_tables()
         return self._all_tables[self.validate_node(node)].get(direction)
 
     def in_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]:
@@ -412,6 +430,7 @@ class HexGrid:
         The returned dict is the topology's precomputed table -- treat it as
         immutable.
         """
+        self._ensure_tables()
         return self._in_tables[self.validate_node(node)]
 
     def out_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]:
@@ -424,6 +443,7 @@ class HexGrid:
         The returned dict is the topology's precomputed table -- treat it as
         immutable.
         """
+        self._ensure_tables()
         return self._out_tables[self.validate_node(node)]
 
     def all_neighbors(self, node: NodeId) -> Dict[Direction, NodeId]:
@@ -432,6 +452,7 @@ class HexGrid:
         The returned dict is the topology's precomputed table -- treat it as
         immutable.
         """
+        self._ensure_tables()
         return self._all_tables[self.validate_node(node)]
 
     def direction_between(self, source: NodeId, destination: NodeId) -> Direction:
@@ -445,6 +466,7 @@ class HexGrid:
         ValueError
             If there is no link from ``source`` to ``destination``.
         """
+        self._ensure_tables()
         destination = self.validate_node(destination)
         source = self.validate_node(source)
         direction = self._link_directions.get((source, destination))

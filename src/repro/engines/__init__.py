@@ -18,7 +18,12 @@ makes that choice a first-class object instead of a stringly-typed keyword:
   dispatch site (simulation shims, campaign executor, CLI) goes through.
 
 Built-in engines: ``solver`` (:class:`SolverEngine`), ``des``
-(:class:`DesEngine`) and ``clocktree`` (:class:`ClockTreeEngine`).
+(:class:`DesEngine`), ``clocktree`` (:class:`ClockTreeEngine`) and ``array``
+(:class:`ArrayEngine`, the dense numpy-frontier fast path for very large
+fault-free grids).  Each declares an *exactness contract* in its
+capabilities (:attr:`~repro.engines.base.EngineCapabilities.exactness`), so
+callers and tests derive agreement expectations from the contract instead of
+switching on engine names.
 
 >>> from repro.engines import RunSpec, get_engine
 >>> spec = RunSpec(kind="single_pulse", layers=10, width=8, scenario="iii",
@@ -26,15 +31,21 @@ Built-in engines: ``solver`` (:class:`SolverEngine`), ``des``
 >>> result = get_engine("solver").run(spec)
 >>> result.all_correct_triggered()
 True
+>>> get_engine("array").capabilities.exactness
+'bit_identical'
 """
 
+from repro.engines.array import ArrayEngine
 from repro.engines.base import (
     DELAY_MODELS,
+    DETERMINISTIC_DELAY_MODELS,
+    EXACTNESS,
     KINDS,
     Engine,
     EngineCapabilities,
     RunResult,
     RunSpec,
+    batch_key,
     canonical_json,
     content_key,
     generic_run_batch,
@@ -47,10 +58,13 @@ from repro.engines.solver import SolverEngine
 __all__ = [
     "KINDS",
     "DELAY_MODELS",
+    "DETERMINISTIC_DELAY_MODELS",
+    "EXACTNESS",
     "Engine",
     "EngineCapabilities",
     "RunSpec",
     "RunResult",
+    "batch_key",
     "canonical_json",
     "content_key",
     "generic_run_batch",
@@ -61,6 +75,7 @@ __all__ = [
     "SolverEngine",
     "DesEngine",
     "ClockTreeEngine",
+    "ArrayEngine",
 ]
 
 # Built-in registrations.  ``replace=True`` keeps repeated imports (e.g. a
@@ -68,3 +83,4 @@ __all__ = [
 register_engine(SolverEngine(), replace=True)
 register_engine(DesEngine(), replace=True)
 register_engine(ClockTreeEngine(), replace=True)
+register_engine(ArrayEngine(), replace=True)

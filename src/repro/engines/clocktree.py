@@ -50,6 +50,8 @@ class ClockTreeEngine:
         supports_faults=False,
         supports_explicit_inputs=False,
         supported_topologies=("cylinder",),
+        exactness="tolerance",
+        tolerance=None,
         description="H-tree clock-tree baseline (sink arrival times on the same die)",
     )
 

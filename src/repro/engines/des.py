@@ -123,6 +123,8 @@ class DesEngine:
         supports_explicit_inputs=True,
         supports_fault_schedules=True,
         supported_topologies=("*",),
+        exactness="tolerance",
+        tolerance=1.0,
         description="discrete-event simulation of the full node state machines",
     )
 

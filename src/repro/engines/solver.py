@@ -22,6 +22,7 @@ from repro.engines.base import (
     EngineCapabilities,
     RunResult,
     RunSpec,
+    batch_key,
     require_kind,
     require_schedule_support,
     require_topology_support,
@@ -63,6 +64,7 @@ class SolverEngine:
         supports_faults=True,
         supports_explicit_inputs=True,
         supported_topologies=("*",),
+        exactness="bit_identical",
         description="analytic single-pulse fixed-point solver (exact under (C1)/(C2))",
     )
 
@@ -128,7 +130,7 @@ class SolverEngine:
             require_kind(self, spec)
             require_schedule_support(self, spec)
             require_topology_support(self, spec)
-            grid_key = (spec.topology, spec.layers, spec.width)
+            grid_key = batch_key(spec)
             grid = grids.get(grid_key)
             if grid is None:
                 grid = spec.make_grid()

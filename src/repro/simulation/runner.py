@@ -17,17 +17,26 @@ Both helpers accept either a seed or a ready-made :class:`numpy.random.Generator
 so experiment harnesses can spawn independent child streams per run.
 
 Since the engine redesign the actual execution lives in the registered
-backends of :mod:`repro.engines` (``solver``, ``des``, ``clocktree``); these
-shims resolve the backend through
+backends of :mod:`repro.engines` (``solver``, ``des``, ``clocktree``,
+``array``); these shims resolve the backend through
 :func:`~repro.engines.registry.get_engine` -- so unknown engine names fail
 early with the list of registered engines -- hand it the caller's explicit
 arrays and re-wrap the unified :class:`~repro.engines.base.RunResult` into the
 historical result dataclasses.  The per-run draw order (and therefore the
 bit-identical seed-stream contract) is owned by the engines and unchanged.
+
+.. deprecated::
+    The one true entry point is the engine API --
+    ``get_engine(name).run(RunSpec(...))`` (see DESIGN.md, "One entry
+    point").  These shims only serve callers holding pre-built arrays, they
+    cannot express spec-only engines (the dense ``array`` backend rejects
+    them), and they emit :class:`DeprecationWarning`.  New code should build
+    a :class:`~repro.engines.base.RunSpec` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -208,7 +217,17 @@ def simulate_single_pulse(
     Returns
     -------
     SinglePulseResult
+
+    .. deprecated::
+        Prefer ``get_engine(engine).run(RunSpec(...))`` (or the engine's
+        explicit ``single_pulse`` method when arrays are already in hand).
     """
+    warnings.warn(
+        "simulate_single_pulse is a legacy shim; build a repro.engines.RunSpec "
+        "and call get_engine(name).run(spec) instead (see DESIGN.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     backend = get_engine(engine)
     if not backend.capabilities.supports_explicit_inputs or not hasattr(
         backend, "single_pulse"
@@ -279,7 +298,17 @@ def simulate_multi_pulse(
     Returns
     -------
     MultiPulseResult
+
+    .. deprecated::
+        Prefer ``get_engine(engine).run(RunSpec(kind="multi_pulse", ...))``
+        (or the engine's explicit ``multi_pulse`` method).
     """
+    warnings.warn(
+        "simulate_multi_pulse is a legacy shim; build a repro.engines.RunSpec "
+        "and call get_engine(name).run(spec) instead (see DESIGN.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     backend = get_engine(engine)
     if (
         "multi_pulse" not in backend.capabilities.kinds

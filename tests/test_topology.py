@@ -218,3 +218,36 @@ class TestNetworkxExport:
 
     def test_undirected_graph_is_connected(self, small_grid):
         assert nx.is_connected(small_grid.to_undirected_networkx())
+
+
+class TestLazyNeighborTables:
+    """The neighbour tables build on first accessor use, not at construction.
+
+    The dense array engine never consults the tables (its plans come from
+    vectorized boundary rules), so construction must stay O(1) -- that is
+    what keeps million-node grids instant to build.
+    """
+
+    def test_construction_defers_table_build(self):
+        grid = HexGrid(layers=4, width=4)
+        assert grid._all_tables is None
+        # First accessor builds them once; results match the raw rule.
+        neighbors = grid.in_neighbors((1, 0))
+        assert grid._all_tables is not None
+        assert neighbors[Direction.LOWER_LEFT] == (0, 0)
+        assert list(neighbors) == [
+            Direction.LEFT,
+            Direction.RIGHT,
+            Direction.LOWER_LEFT,
+            Direction.LOWER_RIGHT,
+        ]
+
+    def test_million_node_grid_constructs_instantly(self):
+        import time
+
+        start = time.perf_counter()
+        grid = HexGrid(layers=1000, width=1000)
+        elapsed = time.perf_counter() - start
+        assert grid.num_nodes == 1001000
+        assert elapsed < 1.0
+        assert grid._all_tables is None
